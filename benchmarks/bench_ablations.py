@@ -1,0 +1,50 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation switches off one Tetris ingredient and records the CNOT count
+on a fixed workload, so the contribution of every mechanism is visible:
+
+- lookahead scheduling (trial placement) vs similarity-only;
+- Gray-code string ordering vs encoder order;
+- fast bridging on/off;
+- swap-weight extremes (w=0.1 vs w=100).
+"""
+
+import pytest
+
+from repro.analysis import compile_and_measure
+from repro.chem import molecule_blocks
+from repro.compiler import TetrisCompiler
+from repro.hardware import ibm_ithaca_65
+
+BLOCKS = molecule_blocks("LiH")[:48]
+COUPLING = ibm_ithaca_65()
+
+VARIANTS = {
+    "full": TetrisCompiler(),
+    "no_lookahead": TetrisCompiler(lookahead=0),
+    "no_gray_order": TetrisCompiler(sort_strings=False),
+    "no_bridging": TetrisCompiler(enable_bridging=False),
+    "w_0.1": TetrisCompiler(swap_weight=0.1),
+    "w_100": TetrisCompiler(swap_weight=100),
+}
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_ablation(benchmark, name):
+    record = benchmark.pedantic(
+        lambda: compile_and_measure(VARIANTS[name], BLOCKS, COUPLING),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cnot"] = record.metrics.cnot_gates
+    benchmark.extra_info["swaps"] = record.metrics.swap_cnots // 3
+    benchmark.extra_info["depth"] = record.metrics.depth
+    assert record.metrics.cnot_gates > 0
+
+
+def test_string_ordering_matters(benchmark):
+    """Gray ordering should not lose to unsorted emission."""
+    full = compile_and_measure(VARIANTS["full"], BLOCKS, COUPLING)
+    unsorted = compile_and_measure(VARIANTS["no_gray_order"], BLOCKS, COUPLING)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert full.metrics.cnot_gates <= unsorted.metrics.cnot_gates * 1.05

@@ -1,0 +1,44 @@
+"""Micro-benchmarks: per-compiler throughput on a fixed LiH-prefix workload.
+
+Unlike the table/figure regenerations (single-shot), these run multiple
+rounds so the relative compiler costs (Fig. 24's ingredient) are measured
+with proper statistics.
+"""
+
+import pytest
+
+from repro.chem import molecule_blocks
+from repro.compiler import (
+    MaxCancelCompiler,
+    PaulihedralCompiler,
+    PCoastLikeCompiler,
+    TetrisCompiler,
+    TketLikeCompiler,
+)
+from repro.hardware import ibm_ithaca_65
+from repro.passes import optimize_o3
+
+BLOCKS = molecule_blocks("LiH")[:24]
+COUPLING = ibm_ithaca_65()
+
+COMPILERS = {
+    "tetris": TetrisCompiler(),
+    "tetris_no_lookahead": TetrisCompiler(lookahead=0),
+    "paulihedral": PaulihedralCompiler(),
+    "max_cancel": MaxCancelCompiler(),
+    "tket_like": TketLikeCompiler(),
+    "pcoast_like": PCoastLikeCompiler(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(COMPILERS))
+def test_compile_throughput(benchmark, name):
+    compiler = COMPILERS[name]
+    result = benchmark(lambda: compiler.compile_timed(BLOCKS, COUPLING))
+    assert result.circuit.num_two_qubit_gates() > 0
+
+
+def test_o3_pass_throughput(benchmark):
+    raw = PaulihedralCompiler().compile_timed(BLOCKS, COUPLING).circuit
+    optimized = benchmark(lambda: optimize_o3(raw))
+    assert len(optimized) <= len(raw)

@@ -1,0 +1,8 @@
+"""Regenerate fig02 (see repro.experiments.fig02 for the paper mapping)."""
+
+from repro.experiments import fig02
+
+
+def test_regenerate_fig02(regenerate):
+    rows = regenerate("fig02", fig02)
+    assert rows

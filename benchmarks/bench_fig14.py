@@ -1,0 +1,8 @@
+"""Regenerate fig14 (see repro.experiments.fig14 for the paper mapping)."""
+
+from repro.experiments import fig14
+
+
+def test_regenerate_fig14(regenerate):
+    rows = regenerate("fig14", fig14)
+    assert rows

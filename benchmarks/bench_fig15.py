@@ -1,0 +1,8 @@
+"""Regenerate fig15 (see repro.experiments.fig15 for the paper mapping)."""
+
+from repro.experiments import fig15
+
+
+def test_regenerate_fig15(regenerate):
+    rows = regenerate("fig15", fig15)
+    assert rows

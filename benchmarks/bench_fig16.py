@@ -1,0 +1,8 @@
+"""Regenerate fig16 (see repro.experiments.fig16 for the paper mapping)."""
+
+from repro.experiments import fig16
+
+
+def test_regenerate_fig16(regenerate):
+    rows = regenerate("fig16", fig16)
+    assert rows

@@ -1,0 +1,8 @@
+"""Regenerate fig17 (see repro.experiments.fig17 for the paper mapping)."""
+
+from repro.experiments import fig17
+
+
+def test_regenerate_fig17(regenerate):
+    rows = regenerate("fig17", fig17)
+    assert rows

@@ -1,0 +1,8 @@
+"""Regenerate fig18 (see repro.experiments.fig18 for the paper mapping)."""
+
+from repro.experiments import fig18
+
+
+def test_regenerate_fig18(regenerate):
+    rows = regenerate("fig18", fig18)
+    assert rows

@@ -1,0 +1,8 @@
+"""Regenerate fig19 (see repro.experiments.fig19 for the paper mapping)."""
+
+from repro.experiments import fig19
+
+
+def test_regenerate_fig19(regenerate):
+    rows = regenerate("fig19", fig19)
+    assert rows

@@ -1,0 +1,8 @@
+"""Regenerate fig20 (see repro.experiments.fig20 for the paper mapping)."""
+
+from repro.experiments import fig20
+
+
+def test_regenerate_fig20(regenerate):
+    rows = regenerate("fig20", fig20)
+    assert rows

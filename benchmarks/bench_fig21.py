@@ -1,0 +1,8 @@
+"""Regenerate fig21 (see repro.experiments.fig21 for the paper mapping)."""
+
+from repro.experiments import fig21
+
+
+def test_regenerate_fig21(regenerate):
+    rows = regenerate("fig21", fig21)
+    assert rows

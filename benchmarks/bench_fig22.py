@@ -1,0 +1,8 @@
+"""Regenerate fig22 (see repro.experiments.fig22 for the paper mapping)."""
+
+from repro.experiments import fig22
+
+
+def test_regenerate_fig22(regenerate):
+    rows = regenerate("fig22", fig22)
+    assert rows

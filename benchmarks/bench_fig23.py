@@ -1,0 +1,8 @@
+"""Regenerate fig23 (see repro.experiments.fig23 for the paper mapping)."""
+
+from repro.experiments import fig23
+
+
+def test_regenerate_fig23(regenerate):
+    rows = regenerate("fig23", fig23)
+    assert rows

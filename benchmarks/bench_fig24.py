@@ -1,0 +1,8 @@
+"""Regenerate fig24 (see repro.experiments.fig24 for the paper mapping)."""
+
+from repro.experiments import fig24
+
+
+def test_regenerate_fig24(regenerate):
+    rows = regenerate("fig24", fig24)
+    assert rows

@@ -1,0 +1,8 @@
+"""Regenerate table1 (see repro.experiments.table1 for the paper mapping)."""
+
+from repro.experiments import table1
+
+
+def test_regenerate_table1(regenerate):
+    rows = regenerate("table1", table1)
+    assert rows

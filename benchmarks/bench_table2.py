@@ -1,0 +1,8 @@
+"""Regenerate table2 (see repro.experiments.table2 for the paper mapping)."""
+
+from repro.experiments import table2
+
+
+def test_regenerate_table2(regenerate):
+    rows = regenerate("table2", table2)
+    assert rows

@@ -1,0 +1,41 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure through its experiment
+harness and records the wall-clock of the full regeneration.  Scale comes
+from ``REPRO_SCALE`` (default: smoke, so the suite completes in minutes;
+use ``REPRO_SCALE=small`` or ``full`` for paper-scale runs).
+
+Every run also writes the rendered table to ``benchmarks/output/<id>.txt``
+so EXPERIMENTS.md can be refreshed from the latest results.
+"""
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_SCALE", "smoke")
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment once under pytest-benchmark and save its table."""
+
+    def _run(experiment_id: str, module):
+        scale = bench_scale()
+        rows = benchmark.pedantic(
+            lambda: module.run(scale), rounds=1, iterations=1, warmup_rounds=0
+        )
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        from repro.analysis import format_table
+
+        path = os.path.join(OUTPUT_DIR, f"{experiment_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(f"# {experiment_id} (scale={scale})\n")
+            handle.write(format_table(rows) + "\n")
+        return rows
+
+    return _run

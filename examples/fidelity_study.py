@@ -1,0 +1,70 @@
+"""Mirror-circuit fidelity under depolarizing noise (paper Sec. VI-G).
+
+Compiles growing prefixes of the LiH ansatz with Paulihedral and Tetris and
+estimates the probability that circuit + inverse returns to |0...0> under
+the paper's noise model (CNOT 1e-3, 1Q 1e-4).  Also cross-checks the fast
+analytic estimator against the exact stochastic-trajectory simulator on a
+small instance.
+
+Run with::
+
+    python examples/fidelity_study.py
+"""
+
+from repro.analysis import compile_and_measure, format_table
+from repro.chem import molecule_blocks
+from repro.compiler import PaulihedralCompiler, TetrisCompiler
+from repro.hardware import ibm_ithaca_65, linear
+from repro.sim import NoiseModel, estimate_fidelity, trajectory_fidelity
+
+
+def fidelity_sweep() -> None:
+    blocks = molecule_blocks("LiH")
+    coupling = ibm_ithaca_65()
+    noise = NoiseModel()
+    rows = []
+    for count in (2, 4, 6, 8, 10):
+        subset = blocks[16 : 16 + count]  # doubles blocks (the deep ones)
+        row = {"blocks": count}
+        for label, compiler in (
+            ("ph", PaulihedralCompiler()),
+            ("tetris", TetrisCompiler()),
+        ):
+            record = compile_and_measure(compiler, subset, coupling)
+            estimate = estimate_fidelity(
+                record.result.circuit, noise, samples=100, seed=1
+            )
+            row[f"{label}_fidelity"] = round(estimate.point, 4)
+            row[f"{label}_cnot"] = record.metrics.cnot_gates
+        rows.append(row)
+    print("LiH mirror fidelity vs ansatz size (higher is better):")
+    print(format_table(rows))
+
+
+def validate_estimator() -> None:
+    """Analytic no-error estimate vs exact trajectories on a tiny circuit."""
+    blocks = molecule_blocks("LiH")[16:18]
+    # Compile onto a small line so the statevector fits comfortably.
+    from repro.chem.uccsd import uccsd_blocks
+    from repro.chem import JordanWignerEncoder
+    from repro.chem.amplitudes import synthetic_amplitudes
+
+    small = uccsd_blocks(3, 1, JordanWignerEncoder(), synthetic_amplitudes(20))[:2]
+    record = compile_and_measure(TetrisCompiler(), small, linear(7))
+    noise = NoiseModel(two_qubit_error=5e-3, one_qubit_error=5e-4)
+    analytic = estimate_fidelity(record.result.circuit, noise).point
+    exact = trajectory_fidelity(record.result.circuit, noise, shots=200, seed=2)
+    print(f"\nEstimator validation (6-qubit ansatz, inflated noise):")
+    print(f"  analytic no-error probability: {analytic:.4f}")
+    print(f"  exact trajectory fidelity:     {exact:.4f}")
+    print("  (trajectories sit at or above the analytic bound: error paths "
+          "can cancel)")
+
+
+def main() -> None:
+    fidelity_sweep()
+    validate_estimator()
+
+
+if __name__ == "__main__":
+    main()

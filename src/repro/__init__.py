@@ -1,0 +1,30 @@
+"""Tetris: a compilation framework for VQA applications — full reproduction.
+
+Public API highlights
+---------------------
+- :mod:`repro.pauli` — Pauli strings, operators, blocks, similarity.
+- :mod:`repro.circuit` — circuit IR and metrics.
+- :mod:`repro.hardware` — coupling graphs and device catalog.
+- :mod:`repro.chem` — UCCSD ansatz + Jordan-Wigner / Bravyi-Kitaev encoders.
+- :mod:`repro.qaoa` — QAOA workloads.
+- :mod:`repro.synthesis` — Pauli-exponential circuit synthesis.
+- :mod:`repro.passes` — gate-cancellation optimizer (the Qiskit-O3 stand-in).
+- :mod:`repro.compiler` — Tetris and all baseline compilers.
+- :mod:`repro.sim` — statevector simulator and noise/fidelity models.
+- :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from .circuit import QuantumCircuit
+from .pauli import PauliBlock, PauliString, QubitOperator
+from .verify import verify_compilation
+
+__all__ = [
+    "QuantumCircuit",
+    "PauliString",
+    "PauliBlock",
+    "QubitOperator",
+    "verify_compilation",
+    "__version__",
+]

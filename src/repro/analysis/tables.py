@@ -1,0 +1,41 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str] = ()) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered: List[List[str]] = [[_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[index]) for r in rendered))
+        for index, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    ruler = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(r[i].rjust(widths[i]) for i in range(len(columns)))
+        for r in rendered
+    ]
+    return "\n".join([header, ruler, *body])
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def improvement(baseline: float, measured: float) -> float:
+    """Relative reduction in percent (negative = measured smaller)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (measured - baseline) / baseline

@@ -1,0 +1,44 @@
+"""Analytic maximum-cancellation estimate (paper Observation 2 / Fig. 2).
+
+The paper obtains its "max_cancel" numbers by *placing the subset of qubits
+that share a maximum number of non-identity operators in the leaf section of
+the tree*: for every pair of consecutive strings, all tree edges that lie
+inside the shared-operator region cancel.  For strings ``s`` and ``t`` with
+``m`` matching non-identity operators, a tree whose leaf section covers the
+matched region lets ``m`` edges cancel in each direction (bounded by either
+string's edge count).  Strings are ordered greedily for similarity —
+within blocks by minimal Hamming distance, across blocks by leaf-tree
+similarity — the same ordering freedom the compilers have.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..compiler.paulihedral import similarity_chain_order
+from ..compiler.tetris.ir import lower_blocks
+from ..pauli.block import PauliBlock
+from ..pauli.pauli_string import PauliString
+
+
+def _pair_cancelable(first: PauliString, second: PauliString) -> int:
+    """CNOTs cancellable between two adjacent exponentials (one direction)."""
+    matched = len(first.common_qubits(second))
+    if matched == 0:
+        return 0
+    return min(matched, first.weight - 1, second.weight - 1)
+
+
+def max_cancel_upper_bound(blocks: Sequence[PauliBlock]) -> float:
+    """The Fig. 2 "max_cancel" ratio: cancellable / original logical CNOTs."""
+    order = similarity_chain_order(blocks)
+    strings: List[PauliString] = []
+    for index in order:
+        strings.extend(lower_blocks([blocks[index]])[0].strings)
+    total = sum(2 * (s.weight - 1) for s in strings if s.weight > 1)
+    if total == 0:
+        return 0.0
+    cancelable = 0
+    for first, second in zip(strings, strings[1:]):
+        cancelable += 2 * _pair_cancelable(first, second)
+    return min(1.0, cancelable / total)

@@ -1,0 +1,23 @@
+"""Synthetic excitation amplitudes.
+
+The paper computes amplitudes with PySCF; the compiled circuit *structure*
+does not depend on their values (only rotation angles change).  We generate
+deterministic, seeded pseudo-amplitudes so runs are reproducible and angles
+are non-degenerate.  See DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def synthetic_amplitudes(count: int, seed: int = 7, scale: float = 0.1) -> List[float]:
+    """``count`` non-zero amplitudes drawn uniformly from ``[-scale, scale]``."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-scale, scale, size=count)
+    # Nudge anything too close to zero so no rotation degenerates.
+    tiny = np.abs(values) < 1e-3
+    values[tiny] = np.sign(values[tiny] + 1e-12) * 1e-3
+    return [float(v) for v in values]

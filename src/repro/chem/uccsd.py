@@ -1,0 +1,171 @@
+"""Spin-conserving UCCSD excitation generation and encoding into blocks.
+
+The UCCSD ansatz is ``prod_k exp(theta_k (T_k - T_k†))`` over single and
+double electron excitations.  With a Jordan-Wigner or Bravyi-Kitaev encoder
+each excitation becomes one :class:`~repro.pauli.block.PauliBlock` — the
+paper's block granularity ("the size of one Tetris block is set to one block
+of the Paulihedral block", Sec. VI-A).
+
+Spin-orbital convention: *blocked*, spin orbital ``p + s * num_spatial``
+holds spatial orbital ``p`` with spin ``s`` (0 = alpha, 1 = beta).
+Excitations conserve spin: alpha->alpha and beta->beta singles;
+alpha-alpha, beta-beta, and alpha-beta doubles.  This convention reproduces
+the paper's Table I Pauli-string *and* CNOT counts exactly (e.g. LiH:
+640 strings, 8064 logical CNOTs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Sequence, Tuple
+
+from ..pauli.block import PauliBlock
+from ..pauli.qubit_operator import QubitOperator
+from .fermion import FermionOperator
+
+ALPHA = 0
+BETA = 1
+
+
+def spin_orbital(spatial: int, spin: int, num_spatial: int) -> int:
+    """Blocked spin-orbital index: alpha block first, then beta block."""
+    return spatial + spin * num_spatial
+
+
+class Excitation(NamedTuple):
+    """One excitation operator: ``occupied`` -> ``virtual`` spin orbitals."""
+
+    occupied: Tuple[int, ...]
+    virtual: Tuple[int, ...]
+
+    @property
+    def is_single(self) -> bool:
+        return len(self.occupied) == 1
+
+    def label(self) -> str:
+        kind = "s" if self.is_single else "d"
+        occ = ",".join(map(str, self.occupied))
+        vir = ",".join(map(str, self.virtual))
+        return f"{kind}:{occ}->{vir}"
+
+    def operator(self, amplitude: float) -> FermionOperator:
+        if self.is_single:
+            return FermionOperator.single_excitation(
+                self.occupied[0], self.virtual[0], amplitude
+            )
+        return FermionOperator.double_excitation(
+            (self.occupied[0], self.occupied[1]),
+            (self.virtual[0], self.virtual[1]),
+            amplitude,
+        )
+
+
+def uccsd_excitations(num_spatial: int, num_occupied: int) -> List[Excitation]:
+    """All spin-conserving singles and doubles for the active space.
+
+    ``num_occupied`` counts *spatial* orbitals that are doubly occupied.
+    """
+    if not 0 < num_occupied < num_spatial:
+        raise ValueError("need 0 < num_occupied < num_spatial")
+    occupied = range(num_occupied)
+    virtual = range(num_occupied, num_spatial)
+    excitations: List[Excitation] = []
+
+    # Singles: same-spin i -> a for each spin channel.
+    for spin in (ALPHA, BETA):
+        for i in occupied:
+            for a in virtual:
+                excitations.append(
+                    Excitation(
+                        (spin_orbital(i, spin, num_spatial),),
+                        (spin_orbital(a, spin, num_spatial),),
+                    )
+                )
+
+    # Same-spin doubles: (i<j) -> (a<b) within one spin channel.
+    for spin in (ALPHA, BETA):
+        for i in occupied:
+            for j in occupied:
+                if j <= i:
+                    continue
+                for a in virtual:
+                    for b in virtual:
+                        if b <= a:
+                            continue
+                        excitations.append(
+                            Excitation(
+                                (
+                                    spin_orbital(i, spin, num_spatial),
+                                    spin_orbital(j, spin, num_spatial),
+                                ),
+                                (
+                                    spin_orbital(a, spin, num_spatial),
+                                    spin_orbital(b, spin, num_spatial),
+                                ),
+                            )
+                        )
+
+    # Mixed-spin doubles: i_alpha -> a_alpha together with j_beta -> b_beta.
+    for i in occupied:
+        for j in occupied:
+            for a in virtual:
+                for b in virtual:
+                    excitations.append(
+                        Excitation(
+                            (
+                                spin_orbital(i, ALPHA, num_spatial),
+                                spin_orbital(j, BETA, num_spatial),
+                            ),
+                            (
+                                spin_orbital(a, ALPHA, num_spatial),
+                                spin_orbital(b, BETA, num_spatial),
+                            ),
+                        )
+                    )
+    return excitations
+
+
+def excitation_to_block(
+    excitation: Excitation,
+    encoder,
+    num_qubits: int,
+    amplitude: float,
+) -> PauliBlock:
+    """Encode one excitation into a Pauli block.
+
+    The encoded generator is anti-Hermitian: every term is ``i * c_k * P_k``
+    with real ``c_k``.  We store ``P_k`` with weight ``c_k`` so the
+    synthesized rotation angle for string ``k`` is ``-2 * c_k`` times the
+    block angle (``exp(i phi P) = exp(-i (-2 phi)/2 P)``).
+    """
+    generator: QubitOperator = excitation.operator(1.0).encode(encoder, num_qubits)
+    if not generator.is_anti_hermitian():
+        raise ValueError("encoded excitation generator must be anti-Hermitian")
+    strings = []
+    weights = []
+    for string, coefficient in generator.terms():
+        strings.append(string)
+        weights.append(-2.0 * coefficient.imag)
+    return PauliBlock(strings, weights, angle=amplitude, label=excitation.label())
+
+
+def uccsd_blocks(
+    num_spatial: int,
+    num_occupied: int,
+    encoder,
+    amplitudes: Sequence[float] = (),
+) -> List[PauliBlock]:
+    """All UCCSD blocks for the active space under ``encoder``."""
+    excitations = uccsd_excitations(num_spatial, num_occupied)
+    num_qubits = 2 * num_spatial
+    blocks = []
+    for index, excitation in enumerate(excitations):
+        amplitude = amplitudes[index] if index < len(amplitudes) else 0.1
+        blocks.append(
+            excitation_to_block(excitation, encoder, num_qubits, amplitude)
+        )
+    return blocks
+
+
+def iter_block_strings(blocks: Sequence[PauliBlock]) -> Iterator:
+    for block in blocks:
+        yield from block.strings

@@ -1,0 +1,23 @@
+"""Quantum circuit IR: gates, circuits, and circuit metrics."""
+
+from .circuit import QuantumCircuit
+from .duration import circuit_duration, schedule_asap
+from .gate import DEFAULT_DURATIONS, Gate
+from .metrics import CircuitMetrics, depth, measure_circuit, two_qubit_depth
+from .qasm import to_qasm
+from .qasm_import import QasmParseError, from_qasm
+
+__all__ = [
+    "QuantumCircuit",
+    "Gate",
+    "DEFAULT_DURATIONS",
+    "CircuitMetrics",
+    "depth",
+    "two_qubit_depth",
+    "measure_circuit",
+    "circuit_duration",
+    "schedule_asap",
+    "to_qasm",
+    "from_qasm",
+    "QasmParseError",
+]

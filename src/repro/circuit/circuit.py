@@ -1,0 +1,185 @@
+"""The quantum circuit container.
+
+A :class:`QuantumCircuit` is an ordered gate list over ``num_qubits`` wires.
+It is deliberately simple — a flat list — because every transformation in the
+compiler (synthesis, routing, peephole optimization) is itself list-oriented;
+per-wire adjacency structure is built on demand by the passes that need it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from . import gate as g
+from .gate import Gate
+
+
+class QuantumCircuit:
+    """An ordered list of gates on a fixed set of qubit wires.
+
+    Examples
+    --------
+    >>> qc = QuantumCircuit(3)
+    >>> qc.h(0)
+    >>> qc.cx(0, 1)
+    >>> qc.rz(0.5, 2)
+    >>> qc.count_ops()["cx"]
+    1
+    """
+
+    __slots__ = ("num_qubits", "gates", "name")
+
+    def __init__(self, num_qubits: int, name: str = "") -> None:
+        if num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        self.num_qubits = num_qubits
+        self.gates: List[Gate] = []
+        self.name = name
+
+    # -- construction ----------------------------------------------------------
+
+    def append(self, gate: Gate) -> None:
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(
+                    f"qubit {qubit} out of range for {self.num_qubits}-qubit circuit"
+                )
+        self.gates.append(gate)
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        for gate in gates:
+            self.append(gate)
+
+    def h(self, qubit: int) -> None:
+        self.append(Gate(g.H, (qubit,)))
+
+    def s(self, qubit: int) -> None:
+        self.append(Gate(g.S, (qubit,)))
+
+    def sdg(self, qubit: int) -> None:
+        self.append(Gate(g.SDG, (qubit,)))
+
+    def x(self, qubit: int) -> None:
+        self.append(Gate(g.X, (qubit,)))
+
+    def y(self, qubit: int) -> None:
+        self.append(Gate(g.Y, (qubit,)))
+
+    def z(self, qubit: int) -> None:
+        self.append(Gate(g.Z, (qubit,)))
+
+    def rx(self, angle: float, qubit: int) -> None:
+        self.append(Gate(g.RX, (qubit,), (angle,)))
+
+    def ry(self, angle: float, qubit: int) -> None:
+        self.append(Gate(g.RY, (qubit,), (angle,)))
+
+    def rz(self, angle: float, qubit: int) -> None:
+        self.append(Gate(g.RZ, (qubit,), (angle,)))
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> None:
+        self.append(Gate(g.U3, (qubit,), (theta, phi, lam)))
+
+    def cx(self, control: int, target: int) -> None:
+        if control == target:
+            raise ValueError("cx control and target must differ")
+        self.append(Gate(g.CX, (control, target)))
+
+    def swap(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValueError("swap qubits must differ")
+        self.append(Gate(g.SWAP, (a, b)))
+
+    def measure(self, qubit: int) -> None:
+        self.append(Gate(g.MEASURE, (qubit,)))
+
+    def reset(self, qubit: int) -> None:
+        self.append(Gate(g.RESET, (qubit,)))
+
+    def barrier(self, *qubits: int) -> None:
+        self.append(Gate(g.BARRIER, qubits or tuple(range(self.num_qubits))))
+
+    # -- views -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __getitem__(self, index):
+        return self.gates[index]
+
+    def count_ops(self) -> Counter:
+        """Histogram of gate names."""
+        return Counter(gate.name for gate in self.gates)
+
+    def num_two_qubit_gates(self) -> int:
+        """CNOT count with SWAPs counted as 3 CNOTs (paper's metric)."""
+        counts = self.count_ops()
+        return counts.get(g.CX, 0) + 3 * counts.get(g.SWAP, 0)
+
+    def num_one_qubit_gates(self) -> int:
+        return sum(1 for gate in self.gates if gate.is_one_qubit())
+
+    def touched_qubits(self) -> Tuple[int, ...]:
+        qubits: set = set()
+        for gate in self.gates:
+            qubits.update(gate.qubits)
+        return tuple(sorted(qubits))
+
+    # -- transformations -------------------------------------------------------
+
+    def copy(self) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, self.name)
+        out.gates = list(self.gates)
+        return out
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return ``self`` followed by ``other`` (widths must match)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("circuit width mismatch")
+        out = self.copy()
+        out.gates.extend(other.gates)
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """The inverse circuit (gates reversed and individually inverted)."""
+        out = QuantumCircuit(self.num_qubits, f"{self.name}_dg")
+        for gate in reversed(self.gates):
+            if gate.name == g.BARRIER:
+                out.gates.append(gate)
+            else:
+                out.gates.append(gate.inverse())
+        return out
+
+    def decompose_swaps(self) -> "QuantumCircuit":
+        """Rewrite every SWAP as 3 CNOTs (the paper's accounting rule)."""
+        out = QuantumCircuit(self.num_qubits, self.name)
+        for gate in self.gates:
+            if gate.name == g.SWAP:
+                a, b = gate.qubits
+                out.gates.append(Gate(g.CX, (a, b)))
+                out.gates.append(Gate(g.CX, (b, a)))
+                out.gates.append(Gate(g.CX, (a, b)))
+            else:
+                out.gates.append(gate)
+        return out
+
+    def remapped(self, mapping: Dict[int, int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Relabel wires through ``mapping`` (logical -> physical)."""
+        out = QuantumCircuit(num_qubits if num_qubits is not None else self.num_qubits,
+                             self.name)
+        for gate in self.gates:
+            out.append(gate.remapped(mapping))
+        return out
+
+    def __repr__(self) -> str:
+        counts = self.count_ops()
+        summary = ", ".join(f"{name}:{count}" for name, count in counts.most_common(4))
+        return (
+            f"QuantumCircuit({self.num_qubits}q, {len(self.gates)} gates"
+            + (f"; {summary}" if summary else "")
+            + ")"
+        )

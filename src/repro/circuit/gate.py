@@ -1,0 +1,147 @@
+"""Gate objects and the gate library.
+
+The basis follows the paper's evaluation setting: IBM basis ``{U3, CNOT}``
+after optimization, with the synthesis-level gates ``H, S, S†, X, RZ, RX``
+appearing before single-qubit consolidation.  ``SWAP`` is a pseudo-gate that
+the metrics decompose into 3 CNOTs (Sec. VI-A).  ``MEASURE``/``RESET`` support
+the fast-bridging qubit-reuse path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+# Canonical gate names.
+H = "h"
+S = "s"
+SDG = "sdg"
+X = "x"
+Y = "y"
+Z = "z"
+RX = "rx"
+RY = "ry"
+RZ = "rz"
+U3 = "u3"
+CX = "cx"
+SWAP = "swap"
+MEASURE = "measure"
+RESET = "reset"
+BARRIER = "barrier"
+
+ONE_QUBIT_GATES = frozenset({H, S, SDG, X, Y, Z, RX, RY, RZ, U3})
+TWO_QUBIT_GATES = frozenset({CX, SWAP})
+NON_UNITARY = frozenset({MEASURE, RESET, BARRIER})
+
+#: Self-inverse gates cancel when applied back to back on the same qubits.
+SELF_INVERSE = frozenset({H, X, Y, Z, CX, SWAP})
+
+#: Pairs of gates that are mutual inverses (order-independent).
+INVERSE_PAIRS = frozenset({frozenset({S, SDG})})
+
+#: Gates whose parameters merge additively when adjacent (rotations).
+ADDITIVE = frozenset({RX, RY, RZ})
+
+#: Default durations in IBM-like ``dt`` units (dt ~ 0.222 ns):
+#: a 1Q gate ~ 160 dt, a CNOT ~ 1800 dt, measurement ~ 22400 dt.
+DEFAULT_DURATIONS: Dict[str, int] = {
+    H: 160,
+    S: 0,       # virtual-Z family: phase gates are free on IBM hardware
+    SDG: 0,
+    Z: 0,
+    RZ: 0,
+    X: 160,
+    Y: 160,
+    RX: 160,
+    RY: 160,
+    U3: 320,
+    CX: 1800,
+    SWAP: 5400,
+    MEASURE: 22400,
+    RESET: 4000,
+    BARRIER: 0,
+}
+
+
+class Gate:
+    """A single circuit operation.
+
+    ``qubits`` are indices into the owning circuit.  ``params`` are rotation
+    angles (radians) for parameterized gates.
+    """
+
+    __slots__ = ("name", "qubits", "params")
+
+    def __init__(
+        self,
+        name: str,
+        qubits: Tuple[int, ...],
+        params: Tuple[float, ...] = (),
+    ) -> None:
+        self.name = name
+        self.qubits = tuple(qubits)
+        self.params = tuple(params)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def is_two_qubit(self) -> bool:
+        return self.name in TWO_QUBIT_GATES
+
+    def is_one_qubit(self) -> bool:
+        return self.name in ONE_QUBIT_GATES
+
+    def is_unitary(self) -> bool:
+        return self.name not in NON_UNITARY
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate (raises for non-unitary operations)."""
+        if self.name in SELF_INVERSE:
+            return Gate(self.name, self.qubits, self.params)
+        if self.name == S:
+            return Gate(SDG, self.qubits)
+        if self.name == SDG:
+            return Gate(S, self.qubits)
+        if self.name in ADDITIVE:
+            return Gate(self.name, self.qubits, (-self.params[0],))
+        if self.name == U3:
+            theta, phi, lam = self.params
+            return Gate(U3, self.qubits, (-theta, -lam, -phi))
+        raise ValueError(f"gate {self.name!r} has no inverse")
+
+    def remapped(self, mapping: Dict[int, int]) -> "Gate":
+        """Return a copy acting on ``mapping[q]`` for each qubit ``q``."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def cancels_with(self, other: "Gate") -> bool:
+        """True if ``self`` directly followed by ``other`` is the identity."""
+        if self.qubits != other.qubits:
+            return False
+        if self.name in SELF_INVERSE and self.name == other.name:
+            return not self.params and not other.params
+        if frozenset({self.name, other.name}) in INVERSE_PAIRS:
+            return True
+        return False
+
+    def duration(self, table: Optional[Dict[str, int]] = None) -> int:
+        """Duration in dt units, using ``table`` or the defaults."""
+        table = table or DEFAULT_DURATIONS
+        return table.get(self.name, 160)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.qubits == other.qubits
+            and self.params == other.params
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.qubits, self.params))
+
+    def __repr__(self) -> str:
+        if self.params:
+            args = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"{self.name}({args}) q{list(self.qubits)}"
+        return f"{self.name} q{list(self.qubits)}"

@@ -1,0 +1,106 @@
+"""Circuit metrics: depth, gate counts, and the summary record.
+
+Definitions follow Sec. VI-A of the paper:
+
+- *Depth* is the critical-path length with SWAPs decomposed into 3 CNOTs.
+  Barriers are transparent; measures and resets occupy one layer.
+- *CNOT gate count* includes CNOTs decomposed from SWAPs.
+- *Total gate count* is 1Q + CNOT after SWAP decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from . import gate as g
+from .circuit import QuantumCircuit
+
+
+def depth(circuit: QuantumCircuit, one_qubit_free: bool = False) -> int:
+    """Critical-path depth with SWAP counted as 3 CNOT layers.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to measure.
+    one_qubit_free:
+        If True, 1Q gates do not contribute a layer (useful for comparing
+        CNOT-depth between compilers).
+    """
+    level: Dict[int, int] = {}
+    for gate in circuit.gates:
+        if gate.name == g.BARRIER:
+            if gate.qubits:
+                top = max(level.get(q, 0) for q in gate.qubits)
+                for q in gate.qubits:
+                    level[q] = top
+            continue
+        weight = 1
+        if gate.name == g.SWAP:
+            weight = 3
+        elif one_qubit_free and gate.is_one_qubit():
+            weight = 0
+        top = max(level.get(q, 0) for q in gate.qubits)
+        for q in gate.qubits:
+            level[q] = top + weight
+    return max(level.values(), default=0)
+
+
+def two_qubit_depth(circuit: QuantumCircuit) -> int:
+    """Depth counting only 2-qubit gates."""
+    return depth(circuit, one_qubit_free=True)
+
+
+@dataclass
+class CircuitMetrics:
+    """Summary record used by every experiment harness."""
+
+    num_qubits: int
+    total_gates: int
+    cnot_gates: int
+    one_qubit_gates: int
+    depth: int
+    duration: int = 0
+    swap_cnots: int = 0          # CNOTs attributable to inserted SWAPs
+    bridge_cnots: int = 0        # CNOTs attributable to fast bridging
+    canceled_cnots: int = 0      # logical CNOTs removed by cancellation
+    logical_cnots: int = 0       # logical CNOTs before cancellation
+    compile_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cancel_ratio(self) -> float:
+        """Eq. (2): canceled / original logical CNOT count."""
+        if self.logical_cnots == 0:
+            return 0.0
+        return self.canceled_cnots / self.logical_cnots
+
+    def as_row(self) -> Dict[str, float]:
+        """Flatten to a dict for table printing."""
+        return {
+            "qubits": self.num_qubits,
+            "total": self.total_gates,
+            "cnot": self.cnot_gates,
+            "oneq": self.one_qubit_gates,
+            "depth": self.depth,
+            "duration": self.duration,
+            "swap_cnots": self.swap_cnots,
+            "bridge_cnots": self.bridge_cnots,
+            "cancel_ratio": round(self.cancel_ratio, 4),
+            "compile_s": round(self.compile_seconds, 3),
+        }
+
+
+def measure_circuit(circuit: QuantumCircuit) -> CircuitMetrics:
+    """Compute the basic metrics of ``circuit`` (no accounting fields)."""
+    decomposed = circuit.decompose_swaps()
+    cnots = decomposed.count_ops().get(g.CX, 0)
+    oneq = decomposed.num_one_qubit_gates()
+    return CircuitMetrics(
+        num_qubits=circuit.num_qubits,
+        total_gates=cnots + oneq,
+        cnot_gates=cnots,
+        one_qubit_gates=oneq,
+        depth=depth(circuit),
+    )

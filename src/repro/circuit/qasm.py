@@ -1,0 +1,51 @@
+"""OpenQASM 2.0 export.
+
+A convenience for inspecting compiled circuits with external tools.  Only the
+gates produced by this compiler stack are supported.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import gate as g
+from .circuit import QuantumCircuit
+
+_SIMPLE = {g.H, g.S, g.SDG, g.X, g.Y, g.Z}
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Render ``circuit`` as an OpenQASM 2.0 program string."""
+    lines: List[str] = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for gate in circuit.gates:
+        lines.append(_render(gate))
+    return "\n".join(lines) + "\n"
+
+
+def _render(gate) -> str:
+    name = gate.name
+    if name in _SIMPLE:
+        return f"{name} q[{gate.qubits[0]}];"
+    if name in (g.RX, g.RY, g.RZ):
+        return f"{name}({gate.params[0]:.12g}) q[{gate.qubits[0]}];"
+    if name == g.U3:
+        theta, phi, lam = gate.params
+        return f"u3({theta:.12g},{phi:.12g},{lam:.12g}) q[{gate.qubits[0]}];"
+    if name == g.CX:
+        return f"cx q[{gate.qubits[0]}],q[{gate.qubits[1]}];"
+    if name == g.SWAP:
+        return f"swap q[{gate.qubits[0]}],q[{gate.qubits[1]}];"
+    if name == g.MEASURE:
+        q = gate.qubits[0]
+        return f"measure q[{q}] -> c[{q}];"
+    if name == g.RESET:
+        return f"reset q[{gate.qubits[0]}];"
+    if name == g.BARRIER:
+        wires = ",".join(f"q[{q}]" for q in gate.qubits)
+        return f"barrier {wires};"
+    raise ValueError(f"cannot export gate {name!r} to QASM")

@@ -1,0 +1,117 @@
+"""OpenQASM 2.0 import (the subset this stack emits).
+
+Round-trips with :func:`repro.circuit.qasm.to_qasm`: the gate set is
+``h, s, sdg, x, y, z, rx, ry, rz, u3, cx, swap, measure, reset, barrier``
+over a single quantum register.  Useful for re-loading compiled circuits or
+ingesting circuits produced by external tools restricted to this basis.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from . import gate as g
+from .circuit import QuantumCircuit
+from .gate import Gate
+
+_QREG = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]\s*;")
+_CREG = re.compile(r"creg\s+\w+\s*\[\s*\d+\s*\]\s*;")
+_GATE = re.compile(
+    r"(?P<name>[a-zA-Z_][\w]*)\s*(?:\((?P<params>[^)]*)\))?\s+(?P<args>[^;]+);"
+)
+_QUBIT = re.compile(r"\w+\s*\[\s*(\d+)\s*\]")
+
+_SIMPLE = {g.H, g.S, g.SDG, g.X, g.Y, g.Z}
+_ROTATIONS = {g.RX, g.RY, g.RZ}
+
+_CONSTANTS = {"pi": math.pi}
+
+
+class QasmParseError(ValueError):
+    """Raised for malformed or unsupported OpenQASM input."""
+
+
+def _evaluate(expression: str) -> float:
+    """Evaluate a parameter expression (numbers, pi, + - * /)."""
+    text = expression.strip()
+    if not re.fullmatch(r"[\d\s._+\-*/()epi]*", text):
+        raise QasmParseError(f"unsupported parameter expression {expression!r}")
+    try:
+        return float(eval(text, {"__builtins__": {}}, _CONSTANTS))  # noqa: S307
+    except Exception as error:
+        raise QasmParseError(f"bad parameter {expression!r}") from error
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
+    circuit: QuantumCircuit | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include")):
+            continue
+        match = _QREG.fullmatch(line)
+        if match:
+            if circuit is not None:
+                raise QasmParseError("multiple quantum registers are unsupported")
+            circuit = QuantumCircuit(int(match.group(2)))
+            continue
+        if _CREG.fullmatch(line):
+            continue
+        if circuit is None:
+            raise QasmParseError(f"gate before qreg declaration: {line!r}")
+        _parse_statement(line, circuit)
+    if circuit is None:
+        raise QasmParseError("no qreg declaration found")
+    return circuit
+
+
+def _parse_statement(line: str, circuit: QuantumCircuit) -> None:
+    if line.startswith("measure"):
+        qubits = _QUBIT.findall(line)
+        if not qubits:
+            raise QasmParseError(f"bad measure: {line!r}")
+        circuit.measure(int(qubits[0]))
+        return
+    match = _GATE.fullmatch(line)
+    if match is None:
+        raise QasmParseError(f"cannot parse statement: {line!r}")
+    name = match.group("name")
+    params_text = match.group("params")
+    qubits = [int(q) for q in _QUBIT.findall(match.group("args"))]
+    params: List[float] = []
+    if params_text:
+        params = [_evaluate(p) for p in params_text.split(",")]
+
+    if name in _SIMPLE:
+        _expect(name, qubits, 1, params, 0)
+        circuit.append(Gate(name, (qubits[0],)))
+    elif name in _ROTATIONS:
+        _expect(name, qubits, 1, params, 1)
+        circuit.append(Gate(name, (qubits[0],), (params[0],)))
+    elif name == g.U3:
+        _expect(name, qubits, 1, params, 3)
+        circuit.append(Gate(g.U3, (qubits[0],), tuple(params)))
+    elif name == g.CX:
+        _expect(name, qubits, 2, params, 0)
+        circuit.append(Gate(g.CX, tuple(qubits)))
+    elif name == g.SWAP:
+        _expect(name, qubits, 2, params, 0)
+        circuit.append(Gate(g.SWAP, tuple(qubits)))
+    elif name == g.RESET:
+        _expect(name, qubits, 1, params, 0)
+        circuit.reset(qubits[0])
+    elif name == g.BARRIER:
+        circuit.barrier(*qubits)
+    else:
+        raise QasmParseError(f"unsupported gate {name!r}")
+
+
+def _expect(name, qubits, num_qubits, params, num_params) -> None:
+    if len(qubits) != num_qubits:
+        raise QasmParseError(f"{name} expects {num_qubits} qubit(s), got {qubits}")
+    if len(params) != num_params:
+        raise QasmParseError(f"{name} expects {num_params} parameter(s), got {params}")

@@ -1,0 +1,110 @@
+"""Command-line compilation tool.
+
+Compile any built-in benchmark with any compiler onto any device and print
+the metrics (optionally dumping OpenQASM)::
+
+    python -m repro.cli --bench LiH --compiler tetris --device ithaca
+    python -m repro.cli --bench Rand-16 --compiler tetris-qaoa --qasm out.qasm
+    python -m repro.cli --bench UCC-10 --compiler paulihedral --blocks 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import compile_and_measure, format_table
+from .chem import benchmark_blocks, encoder_by_name
+from .circuit import to_qasm
+from .compiler import (
+    MaxCancelCompiler,
+    PaulihedralCompiler,
+    PCoastLikeCompiler,
+    TetrisCompiler,
+    TetrisQAOACompiler,
+    TketLikeCompiler,
+    TwoQANLikeCompiler,
+)
+from .hardware import (
+    fully_connected,
+    google_sycamore_64,
+    ibm_ithaca_65,
+    linear,
+)
+from .qaoa import benchmark_graph, maxcut_blocks
+
+COMPILERS = {
+    "tetris": lambda args: TetrisCompiler(
+        swap_weight=args.swap_weight, lookahead=args.lookahead
+    ),
+    "paulihedral": lambda args: PaulihedralCompiler(),
+    "max-cancel": lambda args: MaxCancelCompiler(),
+    "tket-like": lambda args: TketLikeCompiler(),
+    "pcoast-like": lambda args: PCoastLikeCompiler(),
+    "2qan-like": lambda args: TwoQANLikeCompiler(include_wrappers=False),
+    "tetris-qaoa": lambda args: TetrisQAOACompiler(include_wrappers=False),
+}
+
+
+def resolve_device(name: str, num_logical: int):
+    if name == "ithaca":
+        return ibm_ithaca_65()
+    if name == "sycamore":
+        return google_sycamore_64()
+    if name == "linear":
+        return linear(max(num_logical + 2, num_logical))
+    if name == "full":
+        return fully_connected(num_logical)
+    raise ValueError(f"unknown device {name!r}")
+
+
+def resolve_blocks(bench: str, encoder: str):
+    if bench.lower().startswith(("rand", "reg")):
+        return maxcut_blocks(benchmark_graph(bench))
+    return benchmark_blocks(bench, encoder_by_name(encoder))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Compile a VQA benchmark."
+    )
+    parser.add_argument("--bench", required=True,
+                        help="LiH/BeH2/.../UCC-10/Rand-16/REG3-20")
+    parser.add_argument("--compiler", default="tetris", choices=sorted(COMPILERS))
+    parser.add_argument("--device", default="ithaca",
+                        choices=["ithaca", "sycamore", "linear", "full"])
+    parser.add_argument("--encoder", default="JW", choices=["JW", "BK"])
+    parser.add_argument("--blocks", type=int, default=0,
+                        help="truncate to the first N blocks (0 = all)")
+    parser.add_argument("--swap-weight", type=float, default=3.0)
+    parser.add_argument("--lookahead", type=int, default=10)
+    parser.add_argument("--opt-level", type=int, default=3, choices=[0, 1, 3])
+    parser.add_argument("--qasm", default="", help="write OpenQASM to this path")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    blocks = resolve_blocks(args.bench, args.encoder)
+    if args.blocks > 0:
+        blocks = blocks[: args.blocks]
+    coupling = resolve_device(args.device, blocks[0].num_qubits)
+    compiler = COMPILERS[args.compiler](args)
+    record = compile_and_measure(
+        compiler, blocks, coupling, optimization_level=args.opt_level
+    )
+    print(format_table([{
+        "bench": args.bench,
+        "compiler": record.compiler_name,
+        "device": coupling.name,
+        **record.metrics.as_row(),
+    }]))
+    if args.qasm:
+        with open(args.qasm, "w") as handle:
+            handle.write(to_qasm(record.result.circuit))
+        print(f"wrote {args.qasm}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Compilers: Tetris plus every baseline from the paper's evaluation."""
+
+from .base import (
+    CompilationResult,
+    Compiler,
+    interaction_pairs,
+    logical_cnot_count,
+    logical_one_qubit_count,
+)
+from .generic import TketLikeCompiler
+from .max_cancel import MaxCancelCompiler, max_cancel_logical_circuit
+from .paulihedral import PaulihedralCompiler, similarity_chain_order
+from .pcoast import PCoastLikeCompiler
+from .qaoa_2qan import TetrisQAOACompiler, TwoQANLikeCompiler, extract_edges
+from .tetris import (
+    RecursiveTetrisIR,
+    TetrisBlockIR,
+    TetrisCompiler,
+    lower_blocks,
+    lower_blocks_recursive,
+)
+
+__all__ = [
+    "Compiler",
+    "CompilationResult",
+    "logical_cnot_count",
+    "logical_one_qubit_count",
+    "interaction_pairs",
+    "TetrisCompiler",
+    "TetrisBlockIR",
+    "lower_blocks",
+    "RecursiveTetrisIR",
+    "lower_blocks_recursive",
+    "PaulihedralCompiler",
+    "similarity_chain_order",
+    "MaxCancelCompiler",
+    "max_cancel_logical_circuit",
+    "TketLikeCompiler",
+    "PCoastLikeCompiler",
+    "TwoQANLikeCompiler",
+    "TetrisQAOACompiler",
+    "extract_edges",
+]

@@ -1,0 +1,209 @@
+"""Shared hardware-mapping machinery for the block compilers.
+
+These helpers operate on a mutable :class:`Layout` and append SWAP gates to
+a target circuit, maintaining the invariant that emitted SWAPs are always on
+coupled pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..hardware.coupling import CouplingGraph
+from ..routing.layout import Layout
+
+
+class SwapTracker:
+    """Counts SWAPs emitted into a circuit while updating a layout."""
+
+    def __init__(self, circuit: QuantumCircuit, layout: Layout) -> None:
+        self.circuit = circuit
+        self.layout = layout
+        self.num_swaps = 0
+
+    def swap(self, physical_a: int, physical_b: int) -> None:
+        self.circuit.swap(physical_a, physical_b)
+        self.layout.swap_physical(physical_a, physical_b)
+        self.num_swaps += 1
+
+    def move_along(self, path: Sequence[int]) -> None:
+        """Move the occupant of ``path[0]`` to ``path[-1]`` hop by hop."""
+        for index in range(len(path) - 1):
+            self.swap(path[index], path[index + 1])
+
+
+def find_center(
+    coupling: CouplingGraph,
+    positions: Sequence[int],
+    candidates: Optional[Iterable[int]] = None,
+) -> int:
+    """Physical node minimizing total distance to ``positions``.
+
+    This is Algorithm 1's ``findCenter``: the clustering target for the
+    root-tree qubits.  The centre need not be one of ``positions``.
+    """
+    distance = coupling.distance_matrix()
+    pool = candidates if candidates is not None else range(coupling.num_qubits)
+    return min(
+        pool,
+        key=lambda node: (
+            sum(int(distance[node, p]) for p in positions),
+            max((int(distance[node, p]) for p in positions), default=0),
+            node,
+        ),
+    )
+
+
+def cluster_qubits(
+    tracker: SwapTracker,
+    coupling: CouplingGraph,
+    logical_qubits: Sequence[int],
+    center: int,
+    avoid: Sequence[int] = (),
+) -> List[int]:
+    """Move ``logical_qubits`` until their positions induce a connected set.
+
+    Qubits are processed by increasing distance to the cluster; each is
+    moved along a shortest path (avoiding already-clustered positions as
+    interior nodes) until it becomes adjacent to the cluster.  Returns the
+    final physical positions in the order of ``logical_qubits``.
+
+    ``avoid`` lists *logical* qubits whose positions should be routed
+    around when possible (the caller's leaf-tree qubits: displacing them
+    would scramble the arrangement that inter-block cancellation relies
+    on).  Avoidance is best-effort — paths fall back to shorter blocking
+    sets when no route exists.
+    """
+    layout = tracker.layout
+    if not logical_qubits:
+        return []
+    distance = coupling.distance_matrix()
+    remaining = list(logical_qubits)
+    # Seed the cluster with the qubit closest to the requested centre.
+    remaining.sort(key=lambda q: (int(distance[layout.physical(q)][center]), q))
+    first = remaining.pop(0)
+    cluster: Set[int] = {layout.physical(first)}
+
+    while remaining:
+        remaining.sort(
+            key=lambda q: (
+                min(int(distance[layout.physical(q)][c]) for c in cluster),
+                q,
+            )
+        )
+        mover = remaining.pop(0)
+        position = layout.physical(mover)
+        if any(coupling.are_connected(position, c) for c in cluster) or position in cluster:
+            cluster.add(position)
+            continue
+        target = min(cluster, key=lambda c: (int(distance[position][c]), c))
+        soft_avoid = {
+            layout.physical(q) for q in avoid if q not in (mover,)
+        }
+        path = coupling.shortest_path(position, target, blocked=cluster | soft_avoid)
+        if path is None:
+            path = coupling.shortest_path(position, target, blocked=cluster)
+        if path is None:
+            path = coupling.shortest_path(position, target)
+        assert path is not None, "coupling graph must be connected"
+        # Stop one hop short: adjacency to the cluster is enough.
+        tracker.move_along(path[:-1])
+        cluster.add(layout.physical(mover))
+    return [layout.physical(q) for q in logical_qubits]
+
+
+def connect_support(
+    tracker: SwapTracker,
+    coupling: CouplingGraph,
+    logical_qubits: Sequence[int],
+) -> None:
+    """Paulihedral-style connectivity fix: grow the largest component.
+
+    Finds the maximum connected component of the qubits' positions and
+    moves the remaining qubits (nearest first) until everything is one
+    component.
+    """
+    layout = tracker.layout
+    positions = {q: layout.physical(q) for q in logical_qubits}
+    if not positions:
+        return
+    components = _components(coupling, list(positions.values()))
+    components.sort(key=len, reverse=True)
+    cluster: Set[int] = set(components[0])
+    outside = [q for q in logical_qubits if positions[q] not in cluster]
+    distance = coupling.distance_matrix()
+    while outside:
+        outside.sort(
+            key=lambda q: (
+                min(int(distance[layout.physical(q)][c]) for c in cluster),
+                q,
+            )
+        )
+        mover = outside.pop(0)
+        position = layout.physical(mover)
+        if position in cluster or any(
+            coupling.are_connected(position, c) for c in cluster
+        ):
+            cluster.add(position)
+            continue
+        target = min(cluster, key=lambda c: (int(distance[position][c]), c))
+        path = coupling.shortest_path(position, target, blocked=cluster)
+        if path is None:
+            path = coupling.shortest_path(position, target)
+        assert path is not None
+        tracker.move_along(path[:-1])
+        cluster.add(layout.physical(mover))
+
+
+def _components(coupling: CouplingGraph, nodes: Sequence[int]) -> List[List[int]]:
+    node_set = set(nodes)
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for node in sorted(node_set):
+        if node in seen:
+            continue
+        component = [node]
+        seen.add(node)
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in coupling.neighbors(current):
+                if neighbor in node_set and neighbor not in seen:
+                    seen.add(neighbor)
+                    component.append(neighbor)
+                    frontier.append(neighbor)
+        components.append(component)
+    return components
+
+
+def physical_spanning_tree(
+    coupling: CouplingGraph,
+    positions: Sequence[int],
+    root_position: int,
+) -> Dict[int, int]:
+    """BFS spanning tree ``child_position -> parent_position`` over
+    ``positions`` (must induce a connected subgraph containing the root).
+
+    Deterministic: neighbors are visited in ascending index order, so equal
+    inputs always produce equal trees — which lets identical consecutive
+    strings cancel through the peephole pass.
+    """
+    node_set = set(positions)
+    if root_position not in node_set:
+        raise ValueError("root must be one of the positions")
+    parent: Dict[int, int] = {}
+    seen = {root_position}
+    frontier = [root_position]
+    while frontier:
+        next_frontier: List[int] = []
+        for node in frontier:
+            for neighbor in sorted(coupling.neighbors(node)):
+                if neighbor in node_set and neighbor not in seen:
+                    seen.add(neighbor)
+                    parent[neighbor] = node
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    if len(seen) != len(node_set):
+        raise ValueError("positions do not induce a connected subgraph")
+    return parent

@@ -1,0 +1,133 @@
+"""The max_cancel baseline (paper Sec. VI-A, Figs. 2, 17, 18).
+
+Fixes the logical circuit to a *single leaf tree* per block — the extreme
+end of the Tetris tuning spectrum that maximizes 2Q cancellation — while
+ignoring hardware connectivity entirely.  The hardware-oblivious logical
+circuit is then routed by the generic SWAP router (the paper transpiles it
+with Qiskit for the same reason), which is where the method pays: maximal
+cancellation, maximal SWAP insertion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..circuit import gate as g
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gate import Gate
+from ..hardware.coupling import CouplingGraph
+from ..pauli.block import PauliBlock
+from ..pauli.operators import I
+from ..routing.layout import greedy_interaction_layout
+from ..routing.router import route_circuit
+from ..synthesis.basis_change import post_rotation_gates, pre_rotation_gates
+from .base import (
+    CompilationResult,
+    Compiler,
+    blocks_num_qubits,
+    interaction_pairs,
+    logical_cnot_count,
+)
+from .tetris.ir import TetrisBlockIR, lower_blocks
+
+
+def max_cancel_logical_circuit(
+    blocks: Sequence[PauliBlock],
+    sort_strings: bool = True,
+) -> QuantumCircuit:
+    """The single-leaf-tree logical circuit with structural cancellation.
+
+    For each block, the common-operator qubits form one chain (the single
+    leaf tree) feeding into a chain over the root qubits; the leaf chain and
+    its basis changes are emitted once per block.
+    """
+    num_qubits = blocks_num_qubits(blocks)
+    circuit = QuantumCircuit(num_qubits, name="max_cancel")
+    for ir in lower_blocks(blocks, sort_strings=sort_strings):
+        _emit_block_single_leaf_tree(circuit, ir)
+    return circuit
+
+
+def _emit_block_single_leaf_tree(circuit: QuantumCircuit, ir: TetrisBlockIR) -> None:
+    leaf = list(ir.leaf_qubits)
+    root = list(ir.root_qubits)
+    if not root:
+        root = [leaf.pop()]
+    first = ir.strings[0]
+
+    # Single leaf tree: a chain leaf[0] -> ... -> leaf[-1], emitted once per
+    # block.  Every string contains the leaf (common) operators by
+    # definition, so hoisting is always sound; only the per-string root
+    # section varies (some strings may lack some root qubits under BK).
+    leaf_chain = [
+        Gate(g.CX, (leaf[index], leaf[index + 1])) for index in range(len(leaf) - 1)
+    ]
+    for qubit in leaf:
+        for gate in pre_rotation_gates(first[qubit], qubit):
+            circuit.append(gate)
+    for gate in leaf_chain:
+        circuit.append(gate)
+
+    for string, weight in zip(ir.strings, ir.weights):
+        string_roots = [q for q in root if string[q] != I]
+        for qubit in string_roots:
+            for gate in pre_rotation_gates(string[qubit], qubit):
+                circuit.append(gate)
+        body: List[Gate] = []
+        if leaf and string_roots:
+            body.append(Gate(g.CX, (leaf[-1], string_roots[0])))
+        body.extend(
+            Gate(g.CX, (string_roots[index], string_roots[index + 1]))
+            for index in range(len(string_roots) - 1)
+        )
+        rotation_qubit = string_roots[-1] if string_roots else leaf[-1]
+        for gate in body:
+            circuit.append(gate)
+        circuit.rz(ir.angle * weight, rotation_qubit)
+        for gate in reversed(body):
+            circuit.append(gate)
+        for qubit in string_roots:
+            for gate in post_rotation_gates(string[qubit], qubit):
+                circuit.append(gate)
+
+    for gate in reversed(leaf_chain):
+        circuit.append(gate)
+    for qubit in leaf:
+        for gate in post_rotation_gates(first[qubit], qubit):
+            circuit.append(gate)
+
+
+class MaxCancelCompiler(Compiler):
+    """Single-leaf-tree logical synthesis followed by generic routing."""
+
+    name = "max_cancel"
+
+    def __init__(self, sort_strings: bool = True) -> None:
+        self.sort_strings = sort_strings
+
+    def compile(
+        self,
+        blocks: Sequence[PauliBlock],
+        coupling: CouplingGraph,
+        num_logical: Optional[int] = None,
+    ) -> CompilationResult:
+        from .paulihedral import similarity_chain_order
+
+        num_logical = num_logical or blocks_num_qubits(blocks)
+        block_order = similarity_chain_order(blocks)
+        ordered = [blocks[index] for index in block_order]
+        logical = max_cancel_logical_circuit(ordered, sort_strings=self.sort_strings)
+        layout = greedy_interaction_layout(
+            num_logical, coupling, interaction_pairs(blocks)
+        )
+        routed = route_circuit(logical, coupling, layout)
+        result = CompilationResult(
+            circuit=routed.circuit,
+            initial_layout=routed.initial_layout,
+            final_layout=routed.final_layout,
+            num_swaps=routed.num_swaps,
+            logical_cnots=logical_cnot_count(blocks),
+            compiler_name=self.name,
+        )
+        result.extra["block_order"] = block_order
+        return result

@@ -1,0 +1,61 @@
+"""A PCOAST-style baseline (Paykin et al., Intel Quantum SDK).
+
+PCOAST performs aggressive *logical-level* Pauli optimization — the best
+logical gate counts of all baselines — but is oblivious to qubit mapping,
+so the subsequent routing pass pays a large SWAP bill (paper Fig. 15b).
+
+We model it as: greedy global ordering of blocks by leaf similarity,
+single-leaf-tree synthesis (maximal logical cancellation, like max_cancel),
+a logical cancellation pass, then generic routing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..hardware.coupling import CouplingGraph
+from ..pauli.block import PauliBlock
+from ..passes.peephole import cancel_gates
+from ..routing.layout import greedy_interaction_layout
+from ..routing.router import route_circuit
+from .base import (
+    CompilationResult,
+    Compiler,
+    blocks_num_qubits,
+    interaction_pairs,
+    logical_cnot_count,
+)
+from .max_cancel import max_cancel_logical_circuit
+from .paulihedral import similarity_chain_order
+
+
+class PCoastLikeCompiler(Compiler):
+    """Logical-first optimizer: minimum logical CNOTs, maximum SWAP cost."""
+
+    name = "pcoast-like"
+
+    def compile(
+        self,
+        blocks: Sequence[PauliBlock],
+        coupling: CouplingGraph,
+        num_logical: Optional[int] = None,
+    ) -> CompilationResult:
+        num_logical = num_logical or blocks_num_qubits(blocks)
+        block_order = similarity_chain_order(blocks)
+        ordered = [blocks[index] for index in block_order]
+        logical = max_cancel_logical_circuit(ordered)
+        logical = cancel_gates(logical)
+        layout = greedy_interaction_layout(
+            num_logical, coupling, interaction_pairs(blocks)
+        )
+        routed = route_circuit(logical, coupling, layout)
+        result = CompilationResult(
+            circuit=routed.circuit,
+            initial_layout=routed.initial_layout,
+            final_layout=routed.final_layout,
+            num_swaps=routed.num_swaps,
+            logical_cnots=logical_cnot_count(blocks),
+            compiler_name=self.name,
+        )
+        result.extra["block_order"] = block_order
+        return result

@@ -1,0 +1,136 @@
+"""The Tetris compiler driver (paper Fig. 11).
+
+Pipeline: lower blocks to Tetris-IR -> choose an initial layout -> schedule
+blocks (lookahead or similarity-only) -> synthesize each block with
+Algorithm 1 (root clustering, scored leaf attachment, bridging) -> the
+caller applies the O3-style cleanup pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...circuit.circuit import QuantumCircuit
+from ...hardware.coupling import CouplingGraph
+from ...pauli.block import PauliBlock
+from ...routing.layout import Layout, greedy_interaction_layout
+from ..base import (
+    CompilationResult,
+    Compiler,
+    blocks_num_qubits,
+    interaction_pairs,
+    logical_cnot_count,
+)
+from ..mapping_utils import SwapTracker
+from .ir import lower_blocks
+from .scheduler import (
+    DEFAULT_LOOKAHEAD,
+    LookaheadScheduler,
+    SimilarityScheduler,
+)
+from .synthesis import DEFAULT_SWAP_WEIGHT, synthesize_tetris_block, try_block
+
+
+class TetrisCompiler(Compiler):
+    """Tetris with the lookahead scheduler (the paper's full configuration).
+
+    Parameters
+    ----------
+    swap_weight:
+        The ``w`` of the leaf-attachment score (default 3, one SWAP = 3
+        CNOTs; Sec. V-A and Fig. 20).
+    lookahead:
+        The scheduler's K (default 10; Fig. 19).  ``lookahead=0`` selects
+        the similarity-only scheduler — the paper's plain "Tetris" bar in
+        Fig. 14.
+    enable_bridging:
+        Toggle the fast-bridging path for leaf edges.
+    """
+
+    name = "tetris"
+
+    def __init__(
+        self,
+        swap_weight: float = DEFAULT_SWAP_WEIGHT,
+        lookahead: int = DEFAULT_LOOKAHEAD,
+        enable_bridging: bool = True,
+        sort_strings: bool = True,
+    ) -> None:
+        self.swap_weight = swap_weight
+        self.lookahead = lookahead
+        self.enable_bridging = enable_bridging
+        self.sort_strings = sort_strings
+        if lookahead > 0:
+            self.name = f"tetris+lookahead" if lookahead != 1 else "tetris"
+
+    def compile(
+        self,
+        blocks: Sequence[PauliBlock],
+        coupling: CouplingGraph,
+        num_logical: Optional[int] = None,
+    ) -> CompilationResult:
+        num_logical = num_logical or blocks_num_qubits(blocks)
+        ir_blocks = lower_blocks(blocks, sort_strings=self.sort_strings)
+        layout = greedy_interaction_layout(
+            num_logical, coupling, interaction_pairs(blocks)
+        )
+        initial = layout.copy()
+        circuit = QuantumCircuit(coupling.num_qubits, name="tetris")
+        tracker = SwapTracker(circuit, layout)
+
+        if self.lookahead > 0:
+            def trial_cost(candidate, live_layout):
+                return try_block(
+                    candidate,
+                    live_layout,
+                    coupling,
+                    swap_weight=self.swap_weight,
+                    enable_bridging=self.enable_bridging,
+                )
+
+            scheduler = LookaheadScheduler(
+                ir_blocks, lookahead=self.lookahead, cost_of=trial_cost
+            )
+        else:
+            scheduler = SimilarityScheduler(ir_blocks)
+
+        index_of = {id(ir): position for position, ir in enumerate(ir_blocks)}
+        block_order = []
+        bridge_overhead = 0
+        while scheduler:
+            ir = scheduler.pick_next(layout, coupling)
+            block_order.append(index_of[id(ir)])
+            stats = synthesize_tetris_block(
+                ir,
+                tracker,
+                coupling,
+                swap_weight=self.swap_weight,
+                enable_bridging=self.enable_bridging,
+            )
+            bridge_overhead += stats.bridge_overhead_cnots
+
+        result = CompilationResult(
+            circuit=circuit,
+            initial_layout=initial,
+            final_layout=layout,
+            num_swaps=tracker.num_swaps,
+            bridge_overhead_cnots=bridge_overhead,
+            logical_cnots=logical_cnot_count(blocks),
+            compiler_name=self.name,
+        )
+        result.extra["block_order"] = block_order
+        result.extra["string_orders"] = [
+            list(_original_string_order(blocks[i], ir_blocks[i])) for i in block_order
+        ]
+        return result
+
+
+def _original_string_order(block, ir) -> list:
+    """Map the IR's (possibly re-sorted) strings back to block indices."""
+    pool = {}
+    for position, string in enumerate(block.strings):
+        pool.setdefault(string, []).append(position)
+    order = []
+    for string in ir.strings:
+        order.append(pool[string].pop(0))
+    return order

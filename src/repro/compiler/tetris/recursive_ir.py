@@ -1,0 +1,127 @@
+"""Tetris-IR-recursive (paper Fig. 6(c) — left as future work there).
+
+The plain Tetris-IR extracts one common section shared by *all* strings of
+a block.  The recursive refinement also finds operators shared by *runs of
+consecutive strings* inside the block: in Fig. 6(c) the last two strings
+share a Pauli-X on the second qubit, so its gates cancel between them even
+though the first strings break the block-wide commonality.
+
+This module implements the refinement as an IR analysis:
+
+- :class:`RecursiveRun` — a maximal run of consecutive strings sharing one
+  operator on one qubit (beyond the block-wide common section);
+- :class:`RecursiveTetrisIR` — the annotated block, with Fig. 6(c)-style
+  rendering (run members lower-cased) and a cancellation estimate.
+
+Lowering keeps the plain Tetris emission: the peephole pass already
+harvests run-level cancellations (matching basis gates cancel first, then
+the adjacent tree edges), so the recursive IR quantifies and exposes the
+opportunity rather than changing code generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ...pauli.block import PauliBlock
+from ...pauli.operators import I
+from .ir import TetrisBlockIR
+
+
+@dataclass(frozen=True)
+class RecursiveRun:
+    """``strings[start:stop]`` all carry ``op`` on ``qubit``."""
+
+    qubit: int
+    op: str
+    start: int
+    stop: int  # exclusive
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+    def covers(self, index: int) -> bool:
+        return self.start <= index < self.stop
+
+
+class RecursiveTetrisIR(TetrisBlockIR):
+    """Tetris-IR plus per-run common-operator annotations."""
+
+    __slots__ = ("runs",)
+
+    def __init__(self, block: PauliBlock, sort_strings: bool = True) -> None:
+        super().__init__(block, sort_strings=sort_strings)
+        self.runs: Tuple[RecursiveRun, ...] = tuple(self._find_runs())
+
+    def _find_runs(self) -> List[RecursiveRun]:
+        """Maximal runs (length >= 2) of equal non-identity root-qubit ops."""
+        runs: List[RecursiveRun] = []
+        strings = self.strings
+        for qubit in self.root_qubits:
+            start = 0
+            while start < len(strings):
+                op = strings[start][qubit]
+                stop = start + 1
+                while stop < len(strings) and strings[stop][qubit] == op:
+                    stop += 1
+                if op != I and stop - start >= 2:
+                    runs.append(RecursiveRun(qubit, op, start, stop))
+                start = stop
+        runs.sort(key=lambda run: (run.start, run.qubit))
+        return runs
+
+    # -- analysis ---------------------------------------------------------------
+
+    def extra_cancelable_cnots(self) -> int:
+        """CNOTs cancellable beyond the block-wide leaf section.
+
+        Each run of length L lets the qubit's tree edge cancel between the
+        L-1 interior string boundaries, i.e. 2 * (L - 1) CNOTs.
+        """
+        return sum(2 * (run.length - 1) for run in self.runs)
+
+    def run_coverage(self) -> Dict[int, int]:
+        """``{qubit: number of strings covered by some run on that qubit}``."""
+        coverage: Dict[int, int] = {}
+        for run in self.runs:
+            coverage[run.qubit] = coverage.get(run.qubit, 0) + run.length
+        return coverage
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        """Fig. 6(c)-style text: run-covered operators lower-cased too."""
+        order = self.qubit_order()
+        leaf_set = set(self.leaf_qubits)
+        run_covered = {
+            (run.qubit, index)
+            for run in self.runs
+            for index in range(run.start, run.stop)
+        }
+        lines: List[str] = ["".join(str(q % 10) for q in order)]
+        last = self.num_strings - 1
+        for index, string in enumerate(self.strings):
+            chars = []
+            for qubit in order:
+                op = string[qubit]
+                if qubit in leaf_set:
+                    if index in (0, last):
+                        chars.append(op.lower())
+                elif (qubit, index) in run_covered:
+                    chars.append(op.lower())
+                else:
+                    chars.append(op)
+            lines.append("".join(chars))
+        weights = ", ".join(f"{w:g}" for w in self.weights)
+        lines.append(f"weights: {{{weights}}}, angle: {self.angle:g}")
+        return "\n".join(lines)
+
+
+def lower_blocks_recursive(
+    blocks,
+    sort_strings: bool = True,
+) -> List[RecursiveTetrisIR]:
+    """Lower plain Pauli blocks into the recursive Tetris-IR."""
+    return [RecursiveTetrisIR(block, sort_strings=sort_strings) for block in blocks]

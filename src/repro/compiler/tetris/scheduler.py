@@ -1,0 +1,166 @@
+"""Lookahead block scheduling (paper Sec. V-B).
+
+1. Start with the block of largest *active length* (most non-identity
+   operators) — the block with the most cancellation potential.
+2. Repeatedly: rank remaining blocks by leaf-tree similarity (Eq. 1) to the
+   last scheduled block, take the top-K candidates, and among them schedule
+   the one whose root tree is cheapest to gather under the current mapping.
+
+The SWAP-cost estimate is the clustering cost of the candidate's root-tree
+qubits: the summed distance of each root qubit to the set's centre, minus
+the one free hop each (already-adjacent qubits cost nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ...hardware.coupling import CouplingGraph
+from ...pauli.similarity import block_similarity
+from ...routing.layout import Layout
+from ..mapping_utils import find_center
+from .ir import TetrisBlockIR
+
+DEFAULT_LOOKAHEAD = 10
+
+
+def estimate_root_gather_cost(
+    ir: TetrisBlockIR,
+    layout: Layout,
+    coupling: CouplingGraph,
+) -> int:
+    """Estimated SWAPs to cluster the block's root-tree qubits."""
+    qubits = ir.root_qubits or ir.leaf_qubits
+    if len(qubits) <= 1:
+        return 0
+    positions = [layout.physical(q) for q in qubits]
+    center = find_center(coupling, positions)
+    distance = coupling.distance_matrix()
+    return sum(max(0, int(distance[p, center]) - 1) for p in positions)
+
+
+def lookahead_order(
+    blocks: Sequence[TetrisBlockIR],
+    lookahead: int = DEFAULT_LOOKAHEAD,
+    cost_of: Optional[Callable[[TetrisBlockIR], float]] = None,
+) -> List[int]:
+    """Return a scheduling order (indices into ``blocks``).
+
+    ``cost_of`` supplies the SWAP-cost estimate for a candidate under the
+    *current* mapping; the compiler passes a closure over its live layout
+    and calls this incrementally.  When ``cost_of`` is None the tie-break
+    is purely similarity (useful for tests).
+    """
+    remaining = list(range(len(blocks)))
+    if not remaining:
+        return []
+    first = max(remaining, key=lambda i: (blocks[i].active_length, -i))
+    order = [first]
+    remaining.remove(first)
+    while remaining:
+        last = blocks[order[-1]]
+        ranked = sorted(
+            remaining,
+            key=lambda i: (-block_similarity(last.block, blocks[i].block), i),
+        )
+        candidates = ranked[: max(1, lookahead)]
+        if cost_of is None:
+            chosen = candidates[0]
+        else:
+            chosen = min(candidates, key=lambda i: (cost_of(blocks[i]), i))
+        order.append(chosen)
+        remaining.remove(chosen)
+    return order
+
+
+class LookaheadScheduler:
+    """Stateful scheduler used by the Tetris compiler (pick-next interface).
+
+    ``cost_of(block, layout)`` supplies the SWAP cost of a candidate under
+    the live mapping; the compiler passes a trial-placement closure (the
+    artifact's ``try_block``).  Without it, a fast distance-based estimate
+    is used.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[TetrisBlockIR],
+        lookahead: int = DEFAULT_LOOKAHEAD,
+        cost_of: Optional[Callable] = None,
+    ) -> None:
+        self.blocks = list(blocks)
+        self.lookahead = max(1, lookahead)
+        self.cost_of = cost_of
+        self._remaining = list(range(len(self.blocks)))
+        self._last: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return bool(self._remaining)
+
+    def pick_next(self, layout: Layout, coupling: CouplingGraph) -> TetrisBlockIR:
+        if not self._remaining:
+            raise IndexError("all blocks scheduled")
+        if self._last is None:
+            choice = max(
+                self._remaining,
+                key=lambda i: (self.blocks[i].active_length, -i),
+            )
+        else:
+            last_block = self.blocks[self._last].block
+            ranked = sorted(
+                self._remaining,
+                key=lambda i: (-block_similarity(last_block, self.blocks[i].block), i),
+            )
+            candidates = ranked[: self.lookahead]
+            # Tie-break equal SWAP cost by similarity rank (candidates are
+            # already in descending-similarity order).
+            if self.cost_of is not None:
+                choice = min(
+                    enumerate(candidates),
+                    key=lambda pair: (self.cost_of(self.blocks[pair[1]], layout), pair[0]),
+                )[1]
+            else:
+                choice = min(
+                    enumerate(candidates),
+                    key=lambda pair: (
+                        estimate_root_gather_cost(self.blocks[pair[1]], layout, coupling),
+                        pair[0],
+                    ),
+                )[1]
+        self._remaining.remove(choice)
+        self._last = choice
+        return self.blocks[choice]
+
+
+class SimilarityScheduler:
+    """Paulihedral-style scheduler: pure similarity chaining (no SWAP cost).
+
+    This is the "Tetris" (without lookahead) configuration of Fig. 14 —
+    Tetris synthesis driven by the baseline scheduler.
+    """
+
+    def __init__(self, blocks: Sequence[TetrisBlockIR]) -> None:
+        self.blocks = list(blocks)
+        self._remaining = list(range(len(self.blocks)))
+        self._last: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return bool(self._remaining)
+
+    def pick_next(self, layout: Layout, coupling: CouplingGraph) -> TetrisBlockIR:
+        if not self._remaining:
+            raise IndexError("all blocks scheduled")
+        if self._last is None:
+            choice = max(
+                self._remaining,
+                key=lambda i: (self.blocks[i].active_length, -i),
+            )
+        else:
+            last_block = self.blocks[self._last].block
+            choice = max(
+                self._remaining,
+                key=lambda i: (block_similarity(last_block, self.blocks[i].block), -i),
+            )
+        self._remaining.remove(choice)
+        self._last = choice
+        return self.blocks[choice]

@@ -1,0 +1,409 @@
+"""Tetris block synthesis with respect to hardware (paper Algorithm 1).
+
+For each Tetris block:
+
+1. *Root clustering* — find a centre node among the root-tree qubits'
+   positions and SWAP them into a connected cluster around it.
+2. *Leaf attachment* — attach leaf-tree qubits one at a time, each to the
+   mapped qubit minimizing the paper's score
+   ``score(qn, qm, w) = (d - 1) * w + (2 * #ps if qm is a root qubit else 2)``,
+   inserting SWAPs along a shortest path that avoids already-mapped qubits.
+3. *Fast bridging* — a leaf edge whose connecting path crosses only free
+   (|0>) physical qubits is realized as a CNOT chain through them instead of
+   SWAPs (Sec. IV-C); ancillas un-compute across the mirrored tree.
+4. *Emission* — with uniform string support, the leaf forest is emitted once
+   per block (fan-in at the start, fan-out at the end) so every interior
+   leaf CNOT pair cancels structurally; per-string sections carry only the
+   root tree, the leaf->root connector CNOTs and the RZ.  With non-uniform
+   support (common under Bravyi-Kitaev), strings are emitted individually
+   over deterministic BFS trees so the peephole pass can still cancel
+   matching neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...circuit import gate as g
+from ...circuit.gate import Gate
+from ...hardware.coupling import CouplingGraph
+from ...pauli.operators import I
+from ...synthesis.basis_change import post_rotation_gates, pre_rotation_gates
+from ..mapping_utils import (
+    SwapTracker,
+    cluster_qubits,
+    connect_support,
+    find_center,
+    physical_spanning_tree,
+)
+from .ir import TetrisBlockIR
+
+DEFAULT_SWAP_WEIGHT = 3.0
+
+
+def try_block(
+    ir: TetrisBlockIR,
+    layout,
+    coupling: CouplingGraph,
+    swap_weight: float = DEFAULT_SWAP_WEIGHT,
+    enable_bridging: bool = True,
+) -> int:
+    """Trial placement of a block (the artifact's ``try_block``).
+
+    Runs the placement half of Algorithm 1 on a *copy* of the layout and
+    returns the SWAP count it would incur.  The lookahead scheduler calls
+    this for each top-K candidate and schedules the cheapest.
+    """
+    from ...circuit.circuit import QuantumCircuit
+
+    scratch_layout = layout.copy()
+    scratch = SwapTracker(QuantumCircuit(coupling.num_qubits), scratch_layout)
+    root_qubits = list(ir.root_qubits)
+    leaf_qubits = list(ir.leaf_qubits)
+    if not root_qubits:
+        root_qubits = [leaf_qubits.pop()]
+    _place_block(
+        ir, scratch, coupling, root_qubits, leaf_qubits, swap_weight, enable_bridging
+    )
+    return scratch.num_swaps
+
+
+@dataclass
+class BlockSynthesisStats:
+    """Accounting for one synthesized block."""
+
+    swaps: int = 0
+    bridge_overhead_cnots: int = 0
+    emitted_cnots: int = 0
+    bridged_edges: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+
+def synthesize_tetris_block(
+    ir: TetrisBlockIR,
+    tracker: SwapTracker,
+    coupling: CouplingGraph,
+    swap_weight: float = DEFAULT_SWAP_WEIGHT,
+    enable_bridging: bool = True,
+) -> BlockSynthesisStats:
+    """Synthesize one Tetris block into ``tracker.circuit``."""
+    stats = BlockSynthesisStats()
+    swaps_before = tracker.num_swaps
+    layout = tracker.layout
+
+    root_qubits = list(ir.root_qubits)
+    leaf_qubits = list(ir.leaf_qubits)
+    if not root_qubits:
+        # Degenerate block (all strings identical): promote one leaf to root.
+        root_qubits = [leaf_qubits.pop()]
+
+    tree = _place_block(
+        ir, tracker, coupling, root_qubits, leaf_qubits, swap_weight, enable_bridging
+    )
+    if ir.uniform_support and _tree_edges_adjacent(tree, layout, coupling):
+        _emit_uniform(ir, tracker, coupling, tree, stats)
+    else:
+        # Rare placement fallback (or non-uniform support, common under BK):
+        # emit string by string with deterministic trees.
+        _emit_per_string(ir, tracker, coupling, tree, stats)
+    stats.swaps = tracker.num_swaps - swaps_before
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# placement
+
+
+@dataclass
+class _BlockTree:
+    """The logical tree over a block's qubits plus physical annotations."""
+
+    root: int
+    parent: Dict[int, int]
+    root_set: Set[int]
+    leaf_set: Set[int]
+    bridge_paths: Dict[int, List[int]]  # leaf child -> physical path to parent
+    depth: Dict[int, int] = field(default_factory=dict)
+
+    def compute_depths(self) -> None:
+        self.depth = {self.root: 0}
+
+        def depth_of(node: int) -> int:
+            if node not in self.depth:
+                self.depth[node] = depth_of(self.parent[node]) + 1
+            return self.depth[node]
+
+        for node in self.parent:
+            depth_of(node)
+
+
+def _place_block(
+    ir: TetrisBlockIR,
+    tracker: SwapTracker,
+    coupling: CouplingGraph,
+    root_qubits: List[int],
+    leaf_qubits: List[int],
+    swap_weight: float,
+    enable_bridging: bool,
+) -> _BlockTree:
+    layout = tracker.layout
+    distance = coupling.distance_matrix()
+
+    # 1. Cluster the root qubits around the centre (Algorithm 1 lines 4-8),
+    # routing around this block's leaf qubits so their arrangement (and the
+    # inter-block cancellation it enables, Sec. V-B) survives.
+    positions = [layout.physical(q) for q in root_qubits]
+    center = find_center(coupling, positions)
+    cluster_qubits(tracker, coupling, root_qubits, center, avoid=leaf_qubits)
+
+    position_of = {q: layout.physical(q) for q in root_qubits}
+    logical_of = {p: q for q, p in position_of.items()}
+    root_position = min(
+        position_of.values(), key=lambda p: (int(distance[p, center]), p)
+    )
+    parent_physical = physical_spanning_tree(
+        coupling, list(position_of.values()), root_position
+    )
+    parent = {logical_of[c]: logical_of[p] for c, p in parent_physical.items()}
+    tree = _BlockTree(
+        root=logical_of[root_position],
+        parent=parent,
+        root_set=set(root_qubits),
+        leaf_set=set(leaf_qubits),
+        bridge_paths={},
+    )
+
+    # 2. Attach leaf qubits by score (Algorithm 1 lines 9-14).
+    num_ps = ir.num_strings
+    mapped: List[int] = list(root_qubits)
+    pending_bridges: List[Tuple[int, int]] = []
+    unmapped = sorted(leaf_qubits)
+    while unmapped:
+        best: Optional[Tuple[float, int, int]] = None
+        for candidate in unmapped:
+            candidate_position = layout.physical(candidate)
+            for anchor in mapped:
+                anchor_position = layout.physical(anchor)
+                hops = int(distance[candidate_position, anchor_position])
+                attach_cost = 2 * num_ps if anchor in tree.root_set else 2
+                score = (hops - 1) * swap_weight + attach_cost
+                key = (score, candidate, anchor)
+                if best is None or key < best:
+                    best = key
+        assert best is not None
+        _, chosen, anchor = best
+        unmapped.remove(chosen)
+        tree.parent[chosen] = anchor
+        mapped.append(chosen)
+
+        chosen_position = layout.physical(chosen)
+        anchor_position = layout.physical(anchor)
+        if coupling.are_connected(chosen_position, anchor_position):
+            continue
+        blocked = {layout.physical(q) for q in mapped if q not in (chosen, anchor)}
+        swap_path = coupling.shortest_path(
+            chosen_position, anchor_position, blocked=blocked
+        )
+        if enable_bridging and anchor not in tree.root_set and swap_path is None:
+            # Swapping would displace already-mapped tree qubits; prefer a
+            # CNOT bridge through free |0> slots if one survives placement.
+            pending_bridges.append((chosen, anchor))
+            continue
+        _move_adjacent(tracker, coupling, mapped, chosen, anchor, soft_avoid=unmapped)
+
+    # 3. Validate deferred bridges; fall back to SWAPs when a path is taken.
+    reserved: Set[int] = set()
+    for chosen, anchor in pending_bridges:
+        chosen_position = layout.physical(chosen)
+        anchor_position = layout.physical(anchor)
+        if coupling.are_connected(chosen_position, anchor_position):
+            continue
+        blocked = {
+            layout.physical(q) for q in mapped if q not in (chosen, anchor)
+        } | reserved
+        path = coupling.shortest_path(chosen_position, anchor_position, blocked=blocked)
+        if (
+            path is not None
+            and all(not layout.is_occupied(node) for node in path[1:-1])
+        ):
+            tree.bridge_paths[chosen] = path
+            reserved.update(path[1:-1])
+        else:
+            _move_adjacent(tracker, coupling, mapped, chosen, anchor)
+
+    tree.compute_depths()
+    return tree
+
+
+def _move_adjacent(
+    tracker: SwapTracker,
+    coupling: CouplingGraph,
+    mapped: Sequence[int],
+    mover: int,
+    anchor: int,
+    soft_avoid: Sequence[int] = (),
+) -> None:
+    """SWAP ``mover`` until adjacent to ``anchor`` (avoid mapped positions).
+
+    ``soft_avoid`` positions (e.g. not-yet-attached leaf qubits) are routed
+    around when a path exists, so their arrangement is preserved.
+    """
+    layout = tracker.layout
+    source = layout.physical(mover)
+    target = layout.physical(anchor)
+    blocked = {layout.physical(q) for q in mapped if q not in (mover, anchor)}
+    soft = {
+        layout.physical(q) for q in soft_avoid if q not in (mover, anchor)
+    }
+    path = coupling.shortest_path(source, target, blocked=blocked | soft)
+    if path is None:
+        path = coupling.shortest_path(source, target, blocked=blocked)
+    if path is None:
+        path = coupling.shortest_path(source, target)
+    assert path is not None
+    tracker.move_along(path[:-1])
+
+
+def _tree_edges_adjacent(tree: "_BlockTree", layout, coupling: CouplingGraph) -> bool:
+    """True iff every non-bridged tree edge sits on a coupled pair."""
+    for child, parent in tree.parent.items():
+        if child in tree.bridge_paths:
+            continue
+        if not coupling.are_connected(layout.physical(child), layout.physical(parent)):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# emission
+
+
+def _edge_gates(
+    tree: _BlockTree,
+    layout,
+    child: int,
+) -> List[Gate]:
+    """Physical CNOT(s) realizing tree edge ``child -> parent`` (fan-in)."""
+    if child in tree.bridge_paths:
+        path = tree.bridge_paths[child]
+        return [
+            Gate(g.CX, (path[index], path[index + 1]))
+            for index in range(len(path) - 1)
+        ]
+    return [Gate(g.CX, (layout.physical(child), layout.physical(tree.parent[child])))]
+
+
+def _schedule(tree: _BlockTree, children: Sequence[int]) -> List[int]:
+    """Children ordered deepest-first for the fan-in half."""
+    return sorted(children, key=lambda c: (-tree.depth[c], c))
+
+
+def _emit_uniform(
+    ir: TetrisBlockIR,
+    tracker: SwapTracker,
+    coupling: CouplingGraph,
+    tree: _BlockTree,
+    stats: BlockSynthesisStats,
+) -> None:
+    circuit = tracker.circuit
+    layout = tracker.layout
+    first = ir.strings[0]
+
+    leaf_internal = [c for c in tree.parent if c in tree.leaf_set
+                     and tree.parent[c] in tree.leaf_set]
+    connectors = [c for c in tree.parent if c in tree.leaf_set
+                  and tree.parent[c] in tree.root_set]
+    root_internal = [c for c in tree.parent if c in tree.root_set]
+
+    # Block prologue: leaf basis changes + leaf-forest fan-in (emitted once).
+    for qubit in sorted(tree.leaf_set):
+        for gate in pre_rotation_gates(first[qubit], layout.physical(qubit)):
+            circuit.append(gate)
+    prologue_gates: List[Gate] = []
+    for child in _schedule(tree, leaf_internal):
+        prologue_gates.extend(_edge_gates(tree, layout, child))
+    for gate in prologue_gates:
+        circuit.append(gate)
+
+    # Per-string sections: root basis + connectors + root tree + RZ + mirror.
+    per_string_children = _schedule(tree, connectors + root_internal)
+    root_position = layout.physical(tree.root)
+    for string, weight in zip(ir.strings, ir.weights):
+        for qubit in sorted(tree.root_set):
+            op = string[qubit]
+            if op != I:
+                for gate in pre_rotation_gates(op, layout.physical(qubit)):
+                    circuit.append(gate)
+        body: List[Gate] = []
+        for child in per_string_children:
+            body.extend(_edge_gates(tree, layout, child))
+        for gate in body:
+            circuit.append(gate)
+        circuit.rz(ir.angle * weight, root_position)
+        for gate in reversed(body):
+            circuit.append(gate)
+        for qubit in sorted(tree.root_set):
+            op = string[qubit]
+            if op != I:
+                for gate in post_rotation_gates(op, layout.physical(qubit)):
+                    circuit.append(gate)
+
+    # Block epilogue: mirrored leaf forest + leaf basis restoration.
+    for gate in reversed(prologue_gates):
+        circuit.append(gate)
+    for qubit in sorted(tree.leaf_set):
+        for gate in post_rotation_gates(first[qubit], layout.physical(qubit)):
+            circuit.append(gate)
+
+    # Accounting: a bridged edge of ``h`` hops emits ``h`` CNOTs instead of
+    # one; leaf-internal edges are emitted twice per block (fan-in/fan-out).
+    for child, path in tree.bridge_paths.items():
+        stats.bridge_overhead_cnots += 2 * (len(path) - 2)
+        stats.bridged_edges += 1
+
+
+def _emit_per_string(
+    ir: TetrisBlockIR,
+    tracker: SwapTracker,
+    coupling: CouplingGraph,
+    tree: _BlockTree,
+    stats: BlockSynthesisStats,
+) -> None:
+    """Non-uniform support: deterministic per-string trees (BK fallback)."""
+    circuit = tracker.circuit
+    layout = tracker.layout
+    distance = coupling.distance_matrix()
+    center = layout.physical(tree.root)
+
+    for string, weight in zip(ir.strings, ir.weights):
+        support = list(string.support)
+        if not support:
+            continue
+        connect_support(tracker, coupling, support)
+        positions = [layout.physical(q) for q in support]
+        root_position = min(positions, key=lambda p: (int(distance[p, center]), p))
+        parent_physical = physical_spanning_tree(coupling, positions, root_position)
+        depth: Dict[int, int] = {root_position: 0}
+
+        def depth_of(node: int) -> int:
+            if node not in depth:
+                depth[node] = depth_of(parent_physical[node]) + 1
+            return depth[node]
+
+        for node in parent_physical:
+            depth_of(node)
+        schedule = sorted(parent_physical, key=lambda c: (-depth[c], c))
+
+        for qubit in support:
+            for gate in pre_rotation_gates(string[qubit], layout.physical(qubit)):
+                circuit.append(gate)
+        body = [Gate(g.CX, (child, parent_physical[child])) for child in schedule]
+        for gate in body:
+            circuit.append(gate)
+        circuit.rz(ir.angle * weight, root_position)
+        for gate in reversed(body):
+            circuit.append(gate)
+        for qubit in support:
+            for gate in post_rotation_gates(string[qubit], layout.physical(qubit)):
+                circuit.append(gate)

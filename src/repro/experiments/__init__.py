@@ -1,0 +1,43 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+Every module exposes ``run(scale) -> list[dict]`` and ``main(scale) -> str``.
+The registry maps experiment ids to modules for the CLI runner::
+
+    python -m repro.experiments.runner --experiment table2 --scale small
+"""
+
+from . import (
+    fig02,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+    fig22,
+    fig23,
+    fig24,
+    table1,
+    table2,
+)
+
+REGISTRY = {
+    "table1": table1,
+    "fig02": fig02,
+    "table2": table2,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "fig19": fig19,
+    "fig20": fig20,
+    "fig21": fig21,
+    "fig22": fig22,
+    "fig23": fig23,
+    "fig24": fig24,
+}
+
+__all__ = ["REGISTRY"] + sorted(REGISTRY)

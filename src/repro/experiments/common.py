@@ -1,0 +1,80 @@
+"""Shared experiment infrastructure: scales, workload resolution.
+
+The paper's artifact takes about a day at full scale.  Every experiment here
+takes a ``scale``:
+
+- ``smoke`` — LiH only, a handful of blocks; seconds.  CI-friendly.
+- ``small`` — the default: small molecules in full, large molecules
+  truncated to a block prefix; minutes for the whole suite.
+- ``full`` — the paper's workloads, untruncated.  Hours.
+
+Set ``REPRO_SCALE`` to override the default for the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from ..chem import benchmark_blocks, encoder_by_name
+from ..pauli.block import PauliBlock
+
+SCALES = ("smoke", "small", "full")
+
+#: Block-count caps per scale (None = no cap).
+_BLOCK_CAPS = {"smoke": 48, "small": 120, "full": None}
+
+#: Molecules exercised per scale.
+MOLECULES_BY_SCALE = {
+    "smoke": ["LiH"],
+    "small": ["LiH", "BeH2", "CH4", "MgH2", "LiCl", "CO2"],
+    "full": ["LiH", "BeH2", "CH4", "MgH2", "LiCl", "CO2"],
+}
+
+SYNTHETIC_BY_SCALE = {
+    "smoke": ["UCC-10"],
+    "small": ["UCC-10", "UCC-15", "UCC-20", "UCC-25", "UCC-30", "UCC-35"],
+    "full": ["UCC-10", "UCC-15", "UCC-20", "UCC-25", "UCC-30", "UCC-35"],
+}
+
+
+def default_scale() -> str:
+    scale = os.environ.get("REPRO_SCALE", "small")
+    if scale not in SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {SCALES}, got {scale!r}")
+    return scale
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    return scale
+
+
+def workload(name: str, encoder: str = "JW", scale: str = "small") -> List[PauliBlock]:
+    """Benchmark blocks for ``name``, truncated according to ``scale``.
+
+    Truncation keeps a prefix of blocks — preserving the internal structure
+    each compiler exploits, just over a shorter program.
+    """
+    check_scale(scale)
+    blocks = benchmark_blocks(name, encoder_by_name(encoder))
+    cap = _BLOCK_CAPS[scale]
+    if cap is not None and len(blocks) > cap:
+        blocks = blocks[:cap]
+    return blocks
+
+
+def experiment_header(name: str, scale: str) -> str:
+    return f"== {name} (scale={scale}) =="
+
+
+def rows_to_csv(rows: Sequence[Dict], path: str) -> None:
+    """Write dict rows to a CSV file (column order from the first row)."""
+    if not rows:
+        return
+    columns = list(rows[0].keys())
+    with open(path, "w") as handle:
+        handle.write(",".join(columns) + "\n")
+        for row in rows:
+            handle.write(",".join(str(row.get(col, "")) for col in columns) + "\n")

@@ -1,0 +1,51 @@
+"""Fig. 14 — CNOT counts across all five compilers.
+
+T|Ket> vs PCOAST vs Paulihedral vs Tetris (similarity scheduler) vs
+Tetris+lookahead (K=10) on the four smaller molecules, JW encoder,
+heavy-hex backend.  Paper shape: TKet ~2x everything else; Tetris bars
+lowest, lookahead lower still.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis import compile_and_measure
+from ..compiler import (
+    PaulihedralCompiler,
+    PCoastLikeCompiler,
+    TetrisCompiler,
+    TketLikeCompiler,
+)
+from ..hardware import ibm_ithaca_65
+from .common import check_scale, workload
+
+FIG14_MOLECULES = ("LiH", "BeH2", "CH4", "MgH2")
+
+
+def run(scale: str = "small") -> List[Dict]:
+    check_scale(scale)
+    coupling = ibm_ithaca_65()
+    names = FIG14_MOLECULES if scale != "smoke" else ("LiH",)
+    compilers = [
+        ("tket", TketLikeCompiler()),
+        ("pcoast", PCoastLikeCompiler()),
+        ("ph", PaulihedralCompiler()),
+        ("tetris", TetrisCompiler(lookahead=0)),
+        ("tetris_lookahead", TetrisCompiler(lookahead=10)),
+    ]
+    rows: List[Dict] = []
+    for name in names:
+        blocks = workload(name, "JW", scale)
+        row: Dict = {"bench": name}
+        for label, compiler in compilers:
+            record = compile_and_measure(compiler, blocks, coupling)
+            row[f"{label}_cnot"] = record.metrics.cnot_gates
+        rows.append(row)
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return format_table(run(scale))

@@ -1,0 +1,84 @@
+"""Fig. 15 — T|Ket> cleanup-style analysis and the PCOAST SWAP breakdown.
+
+(a) the tket-like compiler with its own pre-routing cleanup ("TKet O2")
+against post-routing-only cleanup ("Qiskit O3") — pre-routing wins;
+(b) CNOT breakdown (SWAP-induced vs other) for PCOAST / PH / Tetris —
+PCOAST has the best logical count but by far the largest SWAP bill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis import compile_and_measure
+from ..compiler import (
+    PaulihedralCompiler,
+    PCoastLikeCompiler,
+    TetrisCompiler,
+    TketLikeCompiler,
+)
+from ..hardware import ibm_ithaca_65
+from .common import check_scale, workload
+from .fig14 import FIG14_MOLECULES
+
+
+def run_tket_styles(scale: str = "small") -> List[Dict]:
+    """Fig. 15(a)."""
+    check_scale(scale)
+    coupling = ibm_ithaca_65()
+    names = FIG14_MOLECULES if scale != "smoke" else ("LiH",)
+    rows: List[Dict] = []
+    for name in names:
+        blocks = workload(name, "JW", scale)
+        o2 = compile_and_measure(TketLikeCompiler(style="tket-o2"), blocks, coupling)
+        o3 = compile_and_measure(TketLikeCompiler(style="qiskit-o3"), blocks, coupling)
+        rows.append(
+            {
+                "bench": name,
+                "tket_o2_cnot": o2.metrics.cnot_gates,
+                "qiskit_o3_cnot": o3.metrics.cnot_gates,
+            }
+        )
+    return rows
+
+
+def run_swap_breakdown(scale: str = "small") -> List[Dict]:
+    """Fig. 15(b)."""
+    check_scale(scale)
+    coupling = ibm_ithaca_65()
+    names = FIG14_MOLECULES if scale != "smoke" else ("LiH",)
+    compilers = [
+        ("pcoast", PCoastLikeCompiler()),
+        ("ph", PaulihedralCompiler()),
+        ("tetris", TetrisCompiler()),
+    ]
+    rows: List[Dict] = []
+    for name in names:
+        blocks = workload(name, "JW", scale)
+        row: Dict = {"bench": name}
+        for label, compiler in compilers:
+            record = compile_and_measure(compiler, blocks, coupling)
+            row[f"{label}_cnot"] = record.metrics.cnot_gates
+            row[f"{label}_swap_cnot"] = record.metrics.swap_cnots
+        rows.append(row)
+    return rows
+
+
+def run(scale: str = "small") -> List[Dict]:
+    rows = []
+    for row in run_tket_styles(scale):
+        rows.append({"part": "a", **row})
+    for row in run_swap_breakdown(scale):
+        rows.append({"part": "b", **row})
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return (
+        "Fig 15(a): T|Ket> cleanup styles\n"
+        + format_table(run_tket_styles(scale))
+        + "\n\nFig 15(b): SWAP-induced CNOT breakdown\n"
+        + format_table(run_swap_breakdown(scale))
+    )

@@ -1,0 +1,39 @@
+"""Fig. 16 — Paulihedral and Tetris with and without the O3 pass.
+
+Paper shape: O3 helps Paulihedral a lot (PH leaves cancellation to the
+optimizer) and Tetris much less (Tetris cancels structurally during
+synthesis); Tetris wins in both configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis import compile_and_measure
+from ..compiler import PaulihedralCompiler, TetrisCompiler
+from ..hardware import ibm_ithaca_65
+from .common import MOLECULES_BY_SCALE, check_scale, workload
+
+
+def run(scale: str = "small") -> List[Dict]:
+    check_scale(scale)
+    coupling = ibm_ithaca_65()
+    rows: List[Dict] = []
+    for name in MOLECULES_BY_SCALE[scale]:
+        blocks = workload(name, "JW", scale)
+        row: Dict = {"bench": name}
+        for label, compiler in (("ph", PaulihedralCompiler()), ("tetris", TetrisCompiler())):
+            raw = compile_and_measure(compiler, blocks, coupling, optimization_level=0)
+            opt = compile_and_measure(compiler, blocks, coupling, optimization_level=3)
+            row[f"{label}_cnot_raw"] = raw.metrics.cnot_gates
+            row[f"{label}_cnot_o3"] = opt.metrics.cnot_gates
+            row[f"{label}_depth_raw"] = raw.metrics.depth
+            row[f"{label}_depth_o3"] = opt.metrics.depth
+        rows.append(row)
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return format_table(run(scale))

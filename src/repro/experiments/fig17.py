@@ -1,0 +1,40 @@
+"""Fig. 17 — logical CNOT cancellation ratio: PH vs Tetris vs max_cancel.
+
+Ratios are measured on the all-to-all (logical) device so no SWAPs enter
+Eq. 2.  Paper shape: max_cancel top, Tetris a close middle ground,
+Paulihedral lowest; Tetris's ratio grows with molecule size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis import logical_cancel_ratio
+from ..compiler import MaxCancelCompiler, PaulihedralCompiler, TetrisCompiler
+from .common import MOLECULES_BY_SCALE, check_scale, workload
+
+
+def run(scale: str = "small", encoders: Sequence[str] = ("JW", "BK")) -> List[Dict]:
+    check_scale(scale)
+    rows: List[Dict] = []
+    for encoder in encoders:
+        for name in MOLECULES_BY_SCALE[scale]:
+            blocks = workload(name, encoder, scale)
+            rows.append(
+                {
+                    "bench": name,
+                    "encoder": encoder,
+                    "ph": round(logical_cancel_ratio(PaulihedralCompiler(), blocks), 3),
+                    "tetris": round(logical_cancel_ratio(TetrisCompiler(), blocks), 3),
+                    "max_cancel": round(
+                        logical_cancel_ratio(MaxCancelCompiler(), blocks), 3
+                    ),
+                }
+            )
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return format_table(run(scale))

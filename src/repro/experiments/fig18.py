@@ -1,0 +1,61 @@
+"""Fig. 18 — total CNOT breakdown: logical vs SWAP-induced, per compiler.
+
+For each benchmark: PH / Tetris / max_cancel total CNOTs with the
+SWAP-induced fraction, plus Tetris' improvement over PH.  Paper shape:
+Paulihedral has the smallest SWAP fraction, max_cancel by far the largest;
+Tetris sits between and wins on the total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis import compile_and_measure, improvement
+from ..compiler import MaxCancelCompiler, PaulihedralCompiler, TetrisCompiler
+from ..hardware import ibm_ithaca_65
+from .common import MOLECULES_BY_SCALE, SYNTHETIC_BY_SCALE, check_scale, workload
+
+
+def run(
+    scale: str = "small",
+    encoders: Sequence[str] = ("JW", "BK"),
+    include_synthetic: bool = True,
+) -> List[Dict]:
+    check_scale(scale)
+    coupling = ibm_ithaca_65()
+    rows: List[Dict] = []
+    groups = [(encoder, MOLECULES_BY_SCALE[scale]) for encoder in encoders]
+    if include_synthetic:
+        groups.append(("JW", SYNTHETIC_BY_SCALE[scale]))
+    seen = set()
+    for encoder, names in groups:
+        for name in names:
+            if (encoder, name) in seen:
+                continue
+            seen.add((encoder, name))
+            blocks = workload(name, encoder, scale)
+            ph = compile_and_measure(PaulihedralCompiler(), blocks, coupling)
+            tetris = compile_and_measure(TetrisCompiler(), blocks, coupling)
+            best = compile_and_measure(MaxCancelCompiler(), blocks, coupling)
+            rows.append(
+                {
+                    "bench": name,
+                    "encoder": encoder,
+                    "ph_cnot": ph.metrics.cnot_gates,
+                    "ph_swap_cnot": ph.metrics.swap_cnots,
+                    "tetris_cnot": tetris.metrics.cnot_gates,
+                    "tetris_swap_cnot": tetris.metrics.swap_cnots,
+                    "max_cnot": best.metrics.cnot_gates,
+                    "max_swap_cnot": best.metrics.swap_cnots,
+                    "tetris_impr_%": round(
+                        improvement(ph.metrics.cnot_gates, tetris.metrics.cnot_gates), 2
+                    ),
+                }
+            )
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return format_table(run(scale))

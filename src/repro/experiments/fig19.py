@@ -1,0 +1,48 @@
+"""Fig. 19 — lookahead size K sensitivity.
+
+CNOT count and depth as the scheduler's lookahead K sweeps 1..22.  Paper
+shape: K=1 worst, fast drop, plateau by K~10 (hence the default).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis import compile_and_measure
+from ..compiler import TetrisCompiler
+from ..hardware import ibm_ithaca_65
+from .common import check_scale, workload
+
+DEFAULT_SWEEP = (1, 4, 7, 10, 13, 16, 19, 22)
+
+
+def run(
+    scale: str = "small",
+    benches: Sequence[str] = ("LiH", "BeH2"),
+    sweep: Sequence[int] = DEFAULT_SWEEP,
+) -> List[Dict]:
+    check_scale(scale)
+    coupling = ibm_ithaca_65()
+    if scale == "smoke":
+        benches = ("LiH",)
+        sweep = (1, 10)
+    rows: List[Dict] = []
+    for name in benches:
+        blocks = workload(name, "JW", scale)
+        for k in sweep:
+            record = compile_and_measure(TetrisCompiler(lookahead=k), blocks, coupling)
+            rows.append(
+                {
+                    "bench": name,
+                    "K": k,
+                    "cnot": record.metrics.cnot_gates,
+                    "depth": record.metrics.depth,
+                }
+            )
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return format_table(run(scale))

@@ -1,0 +1,54 @@
+"""Fig. 20 — SWAP-weight w sensitivity on both architectures.
+
+Sweeping the leaf-attachment score weight w: larger w favours fewer SWAPs
+(and fewer cancelled logical CNOTs), smaller w favours cancellation.  Paper
+shape: SWAP count falls with w, logical CNOT count rises (fluctuating);
+Sycamore's denser connectivity keeps its SWAP count low and flat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis import compile_and_measure
+from ..compiler import TetrisCompiler
+from ..hardware import google_sycamore_64, ibm_ithaca_65
+from .common import check_scale, workload
+
+DEFAULT_WEIGHTS = (0.1, 0.5, 1, 2, 3, 4, 5, 10, 100)
+
+
+def run(
+    scale: str = "small",
+    benches: Sequence[str] = ("BeH2", "MgH2"),
+    weights: Sequence[float] = DEFAULT_WEIGHTS,
+) -> List[Dict]:
+    check_scale(scale)
+    devices = [("ithaca", ibm_ithaca_65()), ("sycamore", google_sycamore_64())]
+    if scale == "smoke":
+        benches = ("LiH",)
+        weights = (1, 3, 10)
+    rows: List[Dict] = []
+    for name in benches:
+        blocks = workload(name, "JW", scale)
+        for w in weights:
+            row: Dict = {"bench": name, "w": w}
+            for device_name, coupling in devices:
+                record = compile_and_measure(
+                    TetrisCompiler(swap_weight=w), blocks, coupling
+                )
+                logical = (
+                    record.metrics.cnot_gates
+                    - record.metrics.swap_cnots
+                    - record.metrics.bridge_cnots
+                )
+                row[f"{device_name}_swaps"] = record.metrics.swap_cnots // 3
+                row[f"{device_name}_logical_cnot"] = logical
+            rows.append(row)
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return format_table(run(scale))

@@ -1,0 +1,49 @@
+"""Fig. 21 — PH vs Tetris on the Google Sycamore architecture.
+
+Sycamore's denser coupling reduces everyone's SWAP bill and even helps
+Paulihedral cancel more, but Tetris still wins on depth and total CNOTs
+(paper: -18..-48% depth, -25..-42% CNOT).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis import compile_and_measure, improvement
+from ..compiler import PaulihedralCompiler, TetrisCompiler
+from ..hardware import google_sycamore_64
+from .common import MOLECULES_BY_SCALE, check_scale, workload
+
+
+def run(scale: str = "small") -> List[Dict]:
+    check_scale(scale)
+    coupling = google_sycamore_64()
+    rows: List[Dict] = []
+    for name in MOLECULES_BY_SCALE[scale]:
+        blocks = workload(name, "JW", scale)
+        ph = compile_and_measure(PaulihedralCompiler(), blocks, coupling)
+        tetris = compile_and_measure(TetrisCompiler(), blocks, coupling)
+        rows.append(
+            {
+                "bench": name,
+                "ph_cnot": ph.metrics.cnot_gates,
+                "tetris_cnot": tetris.metrics.cnot_gates,
+                "cnot_impr_%": round(
+                    improvement(ph.metrics.cnot_gates, tetris.metrics.cnot_gates), 2
+                ),
+                "ph_depth": ph.metrics.depth,
+                "tetris_depth": tetris.metrics.depth,
+                "depth_impr_%": round(
+                    improvement(ph.metrics.depth, tetris.metrics.depth), 2
+                ),
+                "ph_swap_cnot": ph.metrics.swap_cnots,
+                "tetris_swap_cnot": tetris.metrics.swap_cnots,
+            }
+        )
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return format_table(run(scale))

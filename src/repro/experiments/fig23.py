@@ -1,0 +1,69 @@
+"""Fig. 23 — QAOA benchmarks: 2QAN-like and Tetris vs Paulihedral.
+
+Five random instances per benchmark; gate count and depth normalized to
+Paulihedral (the per-string router).  Paper shape: both commutation-aware
+compilers far below 1.0; Tetris below 2QAN (bridging + qubit reuse).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..analysis import compile_and_measure
+from ..compiler import (
+    PaulihedralCompiler,
+    TetrisQAOACompiler,
+    TwoQANLikeCompiler,
+)
+from ..hardware import ibm_ithaca_65
+from ..qaoa import QAOA_BENCHMARKS, benchmark_graph, maxcut_blocks
+from .common import check_scale
+
+
+def run(
+    scale: str = "small",
+    benches: Sequence[str] = QAOA_BENCHMARKS,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> List[Dict]:
+    check_scale(scale)
+    coupling = ibm_ithaca_65()
+    if scale == "smoke":
+        benches = ("Rand-16",)
+        seeds = (0,)
+    rows: List[Dict] = []
+    for name in benches:
+        ratios = {"2qan_cnot": [], "tetris_cnot": [], "2qan_depth": [], "tetris_depth": []}
+        for seed in seeds:
+            graph = benchmark_graph(name, seed=seed)
+            blocks = maxcut_blocks(graph)
+            ph = compile_and_measure(PaulihedralCompiler(), blocks, coupling)
+            qan = compile_and_measure(
+                TwoQANLikeCompiler(include_wrappers=False), blocks, coupling
+            )
+            tetris = compile_and_measure(
+                TetrisQAOACompiler(include_wrappers=False), blocks, coupling
+            )
+            ratios["2qan_cnot"].append(qan.metrics.cnot_gates / ph.metrics.cnot_gates)
+            ratios["tetris_cnot"].append(
+                tetris.metrics.cnot_gates / ph.metrics.cnot_gates
+            )
+            ratios["2qan_depth"].append(qan.metrics.depth / ph.metrics.depth)
+            ratios["tetris_depth"].append(tetris.metrics.depth / ph.metrics.depth)
+        rows.append(
+            {
+                "bench": name,
+                "2qan/ph_cnot": round(float(np.mean(ratios["2qan_cnot"])), 3),
+                "tetris/ph_cnot": round(float(np.mean(ratios["tetris_cnot"])), 3),
+                "2qan/ph_depth": round(float(np.mean(ratios["2qan_depth"])), 3),
+                "tetris/ph_depth": round(float(np.mean(ratios["tetris_depth"])), 3),
+            }
+        )
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return format_table(run(scale))

@@ -1,0 +1,41 @@
+"""Fig. 24 — compilation-time scalability: PH vs Tetris, with/without O3.
+
+Paper shape: Tetris' own compilation is slower than PH's, but Tetris'
+smaller raw output makes the downstream O3 pass cheaper, so the end-to-end
+latency crosses over as molecules grow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis import compile_and_measure
+from ..compiler import PaulihedralCompiler, TetrisCompiler
+from ..hardware import ibm_ithaca_65
+from .common import MOLECULES_BY_SCALE, check_scale, workload
+
+
+def run(scale: str = "small") -> List[Dict]:
+    check_scale(scale)
+    coupling = ibm_ithaca_65()
+    rows: List[Dict] = []
+    for name in MOLECULES_BY_SCALE[scale]:
+        blocks = workload(name, "JW", scale)
+        ph = compile_and_measure(PaulihedralCompiler(), blocks, coupling)
+        tetris = compile_and_measure(TetrisCompiler(), blocks, coupling)
+        rows.append(
+            {
+                "bench": name,
+                "ph_compile_s": round(ph.result.compile_seconds, 3),
+                "ph_total_s": round(ph.total_seconds, 3),
+                "tetris_compile_s": round(tetris.result.compile_seconds, 3),
+                "tetris_total_s": round(tetris.total_seconds, 3),
+            }
+        )
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    from ..analysis import format_table
+
+    return format_table(run(scale))

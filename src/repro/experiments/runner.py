@@ -1,0 +1,51 @@
+"""CLI runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment table2 --scale small
+    python -m repro.experiments.runner --all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import REGISTRY
+from .common import SCALES, default_scale
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--experiment",
+        "-e",
+        choices=sorted(REGISTRY),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--scale", choices=SCALES, default=default_scale())
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.all and not args.experiment:
+        build_parser().print_help()
+        return 2
+    names = sorted(REGISTRY) if args.all else [args.experiment]
+    for name in names:
+        module = REGISTRY[name]
+        start = time.perf_counter()
+        print(f"== {name} (scale={args.scale}) ==")
+        print(module.main(args.scale))
+        print(f"-- {name} done in {time.perf_counter() - start:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

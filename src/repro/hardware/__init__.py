@@ -1,0 +1,22 @@
+"""Hardware models: coupling graphs, device catalog."""
+
+from .coupling import CouplingGraph
+from .device import Device, ithaca_device, sycamore_device
+from .heavy_hex import heavy_hex, ibm_ithaca_65
+from .lattices import fully_connected, grid, linear, ring
+from .sycamore import google_sycamore_64, sycamore
+
+__all__ = [
+    "CouplingGraph",
+    "Device",
+    "ithaca_device",
+    "sycamore_device",
+    "heavy_hex",
+    "ibm_ithaca_65",
+    "google_sycamore_64",
+    "sycamore",
+    "linear",
+    "ring",
+    "grid",
+    "fully_connected",
+]

@@ -1,0 +1,182 @@
+"""Hardware coupling graphs with cached all-pairs shortest-path distances.
+
+A :class:`CouplingGraph` is an undirected graph over physical qubits.  CNOTs
+may only be applied along edges; the routers query distances and shortest
+paths (optionally avoiding a set of blocked nodes, which Algorithm 1 of the
+paper needs when leaf-tree paths must not disturb already-placed qubits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+UNREACHABLE = -1
+
+
+class CouplingGraph:
+    """Undirected physical-qubit connectivity graph.
+
+    Examples
+    --------
+    >>> graph = CouplingGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    >>> graph.distance(0, 3)
+    3
+    >>> graph.shortest_path(0, 3)
+    [0, 1, 2, 3]
+    """
+
+    __slots__ = ("num_qubits", "_adjacency", "_edges", "_distances", "name")
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]], name: str = "") -> None:
+        self.num_qubits = num_qubits
+        self.name = name
+        self._adjacency: List[Set[int]] = [set() for _ in range(num_qubits)]
+        edge_set: Set[Tuple[int, int]] = set()
+        for a, b in edges:
+            if a == b:
+                raise ValueError("self-loops are not allowed")
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"edge ({a},{b}) out of range")
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+            edge_set.add((min(a, b), max(a, b)))
+        self._edges: FrozenSet[Tuple[int, int]] = frozenset(edge_set)
+        self._distances: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_edges(cls, num_qubits: int, edges: Iterable[Tuple[int, int]], name: str = "") -> "CouplingGraph":
+        return cls(num_qubits, edges, name)
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph, name: str = "") -> "CouplingGraph":
+        mapping = {node: index for index, node in enumerate(sorted(graph.nodes()))}
+        edges = [(mapping[a], mapping[b]) for a, b in graph.edges()]
+        return cls(graph.number_of_nodes(), edges, name)
+
+    # -- topology queries --------------------------------------------------------
+
+    @property
+    def edges(self) -> FrozenSet[Tuple[int, int]]:
+        return self._edges
+
+    def neighbors(self, qubit: int) -> FrozenSet[int]:
+        return frozenset(self._adjacency[qubit])
+
+    def degree(self, qubit: int) -> int:
+        return len(self._adjacency[qubit])
+
+    def are_connected(self, a: int, b: int) -> bool:
+        return b in self._adjacency[a]
+
+    def is_connected_graph(self) -> bool:
+        if self.num_qubits == 0:
+            return True
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            node = queue.popleft()
+            for other in self._adjacency[node]:
+                if other not in seen:
+                    seen.add(other)
+                    queue.append(other)
+        return len(seen) == self.num_qubits
+
+    def to_networkx(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self._edges)
+        return graph
+
+    # -- distances ----------------------------------------------------------------
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distances (computed once, cached)."""
+        if self._distances is None:
+            n = self.num_qubits
+            distances = np.full((n, n), UNREACHABLE, dtype=np.int32)
+            for source in range(n):
+                distances[source, source] = 0
+                queue = deque([source])
+                while queue:
+                    node = queue.popleft()
+                    base = distances[source, node]
+                    for other in self._adjacency[node]:
+                        if distances[source, other] == UNREACHABLE:
+                            distances[source, other] = base + 1
+                            queue.append(other)
+            self._distances = distances
+        return self._distances
+
+    def distance(self, a: int, b: int) -> int:
+        return int(self.distance_matrix()[a, b])
+
+    def shortest_path(
+        self,
+        source: int,
+        target: int,
+        blocked: Optional[Set[int]] = None,
+    ) -> Optional[List[int]]:
+        """BFS shortest path, optionally avoiding ``blocked`` interior nodes.
+
+        ``source`` and ``target`` are always allowed even if listed in
+        ``blocked``.  Returns None if no path exists.
+        """
+        if source == target:
+            return [source]
+        avoid = set(blocked or ()) - {source, target}
+        parents: Dict[int, int] = {source: source}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for other in self._adjacency[node]:
+                if other in parents or other in avoid:
+                    continue
+                parents[other] = node
+                if other == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(other)
+        return None
+
+    def nearest(self, source: int, candidates: Sequence[int]) -> Optional[int]:
+        """The candidate closest to ``source`` (ties broken by index)."""
+        best = None
+        best_distance = None
+        row = self.distance_matrix()[source]
+        for candidate in candidates:
+            d = int(row[candidate])
+            if d == UNREACHABLE:
+                continue
+            if best_distance is None or d < best_distance or (
+                d == best_distance and candidate < best
+            ):
+                best = candidate
+                best_distance = d
+        return best
+
+    def subgraph_is_connected(self, nodes: Sequence[int]) -> bool:
+        """True iff ``nodes`` induce a connected subgraph."""
+        node_set = set(nodes)
+        if not node_set:
+            return True
+        start = next(iter(node_set))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for other in self._adjacency[node]:
+                if other in node_set and other not in seen:
+                    seen.add(other)
+                    queue.append(other)
+        return len(seen) == len(node_set)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"CouplingGraph({self.num_qubits}q, {len(self._edges)} edges{label})"

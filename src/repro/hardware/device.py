@@ -1,0 +1,46 @@
+"""Device model: coupling graph + gate durations + error rates.
+
+The fidelity experiment (paper Sec. VI-G) uses a depolarizing channel with
+parameter 1e-3 on CNOTs and 1e-4 on single-qubit gates; the duration metric
+uses IBM-like pulse lengths.  Both live here so every experiment pulls its
+physical parameters from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..circuit.gate import DEFAULT_DURATIONS
+from .coupling import CouplingGraph
+from .heavy_hex import ibm_ithaca_65
+from .sycamore import google_sycamore_64
+
+
+@dataclass
+class Device:
+    """A compilation target."""
+
+    coupling: CouplingGraph
+    durations: Dict[str, int] = field(default_factory=lambda: dict(DEFAULT_DURATIONS))
+    one_qubit_error: float = 1e-4
+    two_qubit_error: float = 1e-3
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.coupling.name
+
+    @property
+    def num_qubits(self) -> int:
+        return self.coupling.num_qubits
+
+
+def ithaca_device() -> Device:
+    """The paper's 65-qubit IBM heavy-hex target."""
+    return Device(coupling=ibm_ithaca_65(), name="ibm-ithaca-65")
+
+
+def sycamore_device() -> Device:
+    """The paper's 64-qubit Google Sycamore target."""
+    return Device(coupling=google_sycamore_64(), name="google-sycamore-64")

@@ -1,0 +1,82 @@
+"""IBM heavy-hex topologies.
+
+Provides the 65-qubit hummingbird-class coupling map the paper targets
+("IBM ithaca, with a 65-qubit heavy hexagon structured coupling map") and a
+parametric generator for heavy-hex lattices of other sizes.
+
+The 65-qubit map follows the IBM hummingbird layout: five horizontal rows of
+10-11 qubits connected by three bridge qubits between consecutive rows, with
+the bridge columns alternating between positions {0, 4, 8} and {2, 6, 10}.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .coupling import CouplingGraph
+
+
+def heavy_hex(num_rows: int, row_length: int = 11) -> CouplingGraph:
+    """Parametric heavy-hex lattice.
+
+    ``num_rows`` horizontal rows of ``row_length`` qubits each, with bridge
+    qubits every 4 columns, alternating offsets — the generalization of the
+    hummingbird pattern.
+    """
+    if num_rows < 1 or row_length < 5:
+        raise ValueError("need at least 1 row of >= 5 qubits")
+    edges: List[Tuple[int, int]] = []
+    row_starts: List[int] = []
+    next_index = 0
+    # Lay out the rows first.
+    for _ in range(num_rows):
+        row_starts.append(next_index)
+        for offset in range(row_length - 1):
+            edges.append((next_index + offset, next_index + offset + 1))
+        next_index += row_length
+    # Then the bridges between consecutive rows.
+    for row in range(num_rows - 1):
+        columns = range(0, row_length, 4) if row % 2 == 0 else range(2, row_length, 4)
+        for column in columns:
+            bridge = next_index
+            next_index += 1
+            edges.append((row_starts[row] + column, bridge))
+            edges.append((bridge, row_starts[row + 1] + column))
+    return CouplingGraph(next_index, edges, name=f"heavy-hex-{num_rows}x{row_length}")
+
+
+#: Explicit hummingbird coupling list (rows of 10/11/11/11/10 qubits with
+#: 3 bridge qubits between consecutive rows) — 65 qubits, 72 edges.
+_ITHACA_EDGES: Tuple[Tuple[int, int], ...] = (
+    # row 0: qubits 0-9
+    (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9),
+    # bridges row0 -> row1 at columns 0, 4, 8
+    (0, 10), (4, 11), (8, 12),
+    (10, 13), (11, 17), (12, 21),
+    # row 1: qubits 13-23
+    (13, 14), (14, 15), (15, 16), (16, 17), (17, 18), (18, 19), (19, 20),
+    (20, 21), (21, 22), (22, 23),
+    # bridges row1 -> row2 at columns 2, 6, 10
+    (15, 24), (19, 25), (23, 26),
+    (24, 29), (25, 33), (26, 37),
+    # row 2: qubits 27-37
+    (27, 28), (28, 29), (29, 30), (30, 31), (31, 32), (32, 33), (33, 34),
+    (34, 35), (35, 36), (36, 37),
+    # bridges row2 -> row3 at columns 0, 4, 8
+    (27, 38), (31, 39), (35, 40),
+    (38, 41), (39, 45), (40, 49),
+    # row 3: qubits 41-51
+    (41, 42), (42, 43), (43, 44), (44, 45), (45, 46), (46, 47), (47, 48),
+    (48, 49), (49, 50), (50, 51),
+    # bridges row3 -> row4 at columns 2, 6, 10 (row 4 is offset by one)
+    (43, 52), (47, 53), (51, 54),
+    (52, 56), (53, 60), (54, 64),
+    # row 4: qubits 55-64
+    (55, 56), (56, 57), (57, 58), (58, 59), (59, 60), (60, 61), (61, 62),
+    (62, 63), (63, 64),
+)
+
+
+def ibm_ithaca_65() -> CouplingGraph:
+    """The paper's 65-qubit IBM heavy-hex backend."""
+    return CouplingGraph(65, _ITHACA_EDGES, name="ibm-ithaca-65")

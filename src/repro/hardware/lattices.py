@@ -1,0 +1,41 @@
+"""Elementary lattices used by the paper's worked examples and by tests."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from .coupling import CouplingGraph
+
+
+def linear(num_qubits: int) -> CouplingGraph:
+    """A line Q0 - Q1 - ... - Qn-1 (the topology of Figs. 5, 7-10, 12)."""
+    edges = [(q, q + 1) for q in range(num_qubits - 1)]
+    return CouplingGraph(num_qubits, edges, name=f"linear-{num_qubits}")
+
+
+def ring(num_qubits: int) -> CouplingGraph:
+    """A cycle of ``num_qubits`` qubits."""
+    if num_qubits < 3:
+        raise ValueError("a ring needs at least 3 qubits")
+    edges = [(q, (q + 1) % num_qubits) for q in range(num_qubits)]
+    return CouplingGraph(num_qubits, edges, name=f"ring-{num_qubits}")
+
+
+def grid(rows: int, cols: int) -> CouplingGraph:
+    """A rows x cols rectangular grid."""
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            index = r * cols + c
+            if c + 1 < cols:
+                edges.append((index, index + 1))
+            if r + 1 < rows:
+                edges.append((index, index + cols))
+    return CouplingGraph(rows * cols, edges, name=f"grid-{rows}x{cols}")
+
+
+def fully_connected(num_qubits: int) -> CouplingGraph:
+    """All-to-all connectivity (for logical-circuit comparisons)."""
+    edges = list(combinations(range(num_qubits), 2))
+    return CouplingGraph(num_qubits, edges, name=f"full-{num_qubits}")

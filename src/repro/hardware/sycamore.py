@@ -1,0 +1,37 @@
+"""Google Sycamore topology.
+
+The paper sets "the Sycamore hardware coupling graph ... to 64 qubits with
+8 qubits in each row".  Sycamore qubits sit on a diagonal lattice where each
+qubit couples to up to four diagonal neighbours.  Rotating the lattice 45°,
+this is an 8x8 grid where qubit ``(r, c)`` couples to ``(r+1, c)`` and to
+``(r+1, c+1)`` on even rows / ``(r+1, c-1)`` on odd rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .coupling import CouplingGraph
+
+
+def sycamore(rows: int = 8, cols: int = 8) -> CouplingGraph:
+    """A Sycamore-style diagonal lattice with ``rows * cols`` qubits."""
+    if rows < 2 or cols < 2:
+        raise ValueError("need at least a 2x2 lattice")
+    edges: List[Tuple[int, int]] = []
+
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows - 1):
+        for c in range(cols):
+            edges.append((index(r, c), index(r + 1, c)))
+            diagonal = c + 1 if r % 2 == 0 else c - 1
+            if 0 <= diagonal < cols:
+                edges.append((index(r, c), index(r + 1, diagonal)))
+    return CouplingGraph(rows * cols, edges, name=f"sycamore-{rows}x{cols}")
+
+
+def google_sycamore_64() -> CouplingGraph:
+    """The paper's 64-qubit Sycamore backend (8 qubits per row)."""
+    return sycamore(8, 8)

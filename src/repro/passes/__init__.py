@@ -1,0 +1,19 @@
+"""Circuit optimization passes (gate cancellation, consolidation)."""
+
+from .consolidate import consolidate_one_qubit_runs
+from .peephole import cancel_gates
+from .pipeline import (
+    OptimizationReport,
+    optimize_light,
+    optimize_o3,
+    optimize_with_report,
+)
+
+__all__ = [
+    "cancel_gates",
+    "consolidate_one_qubit_runs",
+    "optimize_o3",
+    "optimize_light",
+    "optimize_with_report",
+    "OptimizationReport",
+]

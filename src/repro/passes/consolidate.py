@@ -1,0 +1,77 @@
+"""Single-qubit run consolidation into U3 gates.
+
+After cancellation, maximal runs of adjacent single-qubit gates on one wire
+are multiplied out and re-emitted as at most one ``U3`` — the IBM-basis
+consolidation Qiskit O3 performs.  Identity runs are dropped entirely.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from ..circuit import gate as g
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gate import Gate
+from ..sim.unitaries import gate_unitary
+
+
+def _zyz_angles(matrix: np.ndarray) -> Optional[tuple]:
+    """ZYZ (u3) angles of a 2x2 unitary, or None if it is the identity."""
+    determinant = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
+    special = matrix / cmath.sqrt(determinant)
+    a, b = special[0, 0], special[1, 0]
+    theta = 2.0 * math.atan2(abs(b), abs(a))
+    if abs(a) > 1e-12:
+        sum_half = -cmath.phase(a)
+    else:
+        sum_half = 0.0
+    if abs(b) > 1e-12:
+        diff_half = cmath.phase(b)
+    else:
+        diff_half = 0.0
+    phi = sum_half + diff_half
+    lam = sum_half - diff_half
+    if abs(theta) < 1e-12:
+        residual = (phi + lam) % (2 * math.pi)
+        if min(residual, 2 * math.pi - residual) < 1e-12:
+            return None
+    return theta, phi, lam
+
+
+def consolidate_one_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Collapse each maximal 1Q run into a single U3 (or nothing)."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    pending: List[Optional[List[Gate]]] = [None] * circuit.num_qubits
+
+    def flush(qubit: int) -> None:
+        run = pending[qubit]
+        pending[qubit] = None
+        if not run:
+            return
+        if len(run) == 1:
+            out.gates.append(run[0])
+            return
+        matrix = np.eye(2, dtype=complex)
+        for gate in run:
+            matrix = gate_unitary(gate) @ matrix
+        angles = _zyz_angles(matrix)
+        if angles is not None:
+            out.gates.append(Gate(g.U3, run[0].qubits, angles))
+
+    for gate in circuit.gates:
+        if gate.is_one_qubit():
+            qubit = gate.qubits[0]
+            if pending[qubit] is None:
+                pending[qubit] = []
+            pending[qubit].append(gate)
+            continue
+        for qubit in gate.qubits:
+            flush(qubit)
+        out.gates.append(gate)
+    for qubit in range(circuit.num_qubits):
+        flush(qubit)
+    return out

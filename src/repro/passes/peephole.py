@@ -1,0 +1,167 @@
+"""Commutation-aware gate cancellation (the "Qiskit O3" stand-in).
+
+Implements the cancellation rules the paper's evaluation relies on:
+
+- back-to-back self-inverse gates cancel (H-H, X-X, CNOT-CNOT, ...);
+- S cancels S†;
+- adjacent equal-axis rotations merge (RZ-RZ, RX-RX, ...), vanishing when
+  the merged angle is a multiple of 2*pi;
+- CNOT pairs cancel through gates that commute with them on each wire:
+  diagonal gates (Z, S, S†, RZ) on the control, X/RX on the target, and
+  CNOTs sharing the same control (or the same target).
+
+The pass runs to a fixpoint.  It is semantics-preserving; soundness is
+property-tested against the statevector simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..circuit import gate as g
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gate import Gate
+
+_TWO_PI = 2.0 * math.pi
+
+#: Gates diagonal in the Z basis: commute with a CNOT's control.
+_DIAGONAL = frozenset({g.Z, g.S, g.SDG, g.RZ})
+
+#: Gates that commute with a CNOT's target.
+_X_AXIS = frozenset({g.X, g.RX})
+
+
+class _WireIndex:
+    """Per-wire occurrence lists over a gate array with liveness flags."""
+
+    def __init__(self, num_qubits: int) -> None:
+        self.occurrences: List[List[int]] = [[] for _ in range(num_qubits)]
+
+    def push(self, index: int, qubits) -> None:
+        for qubit in qubits:
+            self.occurrences[qubit].append(index)
+
+
+def _merge_rotations(kept: Gate, new: Gate) -> Optional[Gate]:
+    """Merge two same-axis rotations; None means they cancel entirely."""
+    angle = (kept.params[0] + new.params[0]) % (2.0 * _TWO_PI)
+    # A rotation by 2*pi equals -identity (global phase): safe to drop.
+    if min(angle % _TWO_PI, _TWO_PI - (angle % _TWO_PI)) < 1e-12:
+        return None
+    return Gate(kept.name, kept.qubits, (angle,))
+
+
+def cancel_gates(circuit: QuantumCircuit, max_rounds: int = 20) -> QuantumCircuit:
+    """Run cancellation rounds to a fixpoint and return the reduced circuit."""
+    gates = list(circuit.gates)
+    for _ in range(max_rounds):
+        gates, changed = _cancel_round(gates, circuit.num_qubits)
+        if not changed:
+            break
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    out.gates = gates
+    return out
+
+
+def _cancel_round(gates: List[Gate], num_qubits: int):
+    alive = [True] * len(gates)
+    index = _WireIndex(num_qubits)
+    changed = False
+
+    for position, gate in enumerate(gates):
+        if gate.name == g.BARRIER:
+            index.push(position, gate.qubits)
+            continue
+        if gate.name in (g.MEASURE, g.RESET):
+            index.push(position, gate.qubits)
+            continue
+        if gate.is_one_qubit():
+            if _try_cancel_one_qubit(gates, alive, index, position, gate):
+                changed = True
+                continue
+        elif gate.name == g.CX:
+            if _try_cancel_cnot(gates, alive, index, position, gate):
+                changed = True
+                continue
+        index.push(position, gate.qubits)
+
+    if not changed:
+        return gates, False
+    return [gate for keep, gate in zip(alive, gates) if keep], True
+
+
+def _last_alive(gates, alive, occurrences) -> Optional[int]:
+    """Pop dead entries off the wire list; return the last live index."""
+    while occurrences and not alive[occurrences[-1]]:
+        occurrences.pop()
+    return occurrences[-1] if occurrences else None
+
+
+def _try_cancel_one_qubit(gates, alive, index, position, gate) -> bool:
+    wire = index.occurrences[gate.qubits[0]]
+    previous = _last_alive(gates, alive, wire)
+    if previous is None:
+        return False
+    other = gates[previous]
+    if not other.is_one_qubit() or other.qubits != gate.qubits:
+        return False
+    if other.cancels_with(gate):
+        alive[previous] = False
+        alive[position] = False
+        return True
+    if gate.name in g.ADDITIVE and other.name == gate.name:
+        merged = _merge_rotations(other, gate)
+        alive[previous] = False
+        if merged is None:
+            alive[position] = False
+        else:
+            gates[position] = merged
+            index.push(position, gate.qubits)
+        return True
+    return False
+
+
+def _scan_back_for_cnot(gates, alive, occurrences, gate, wire_role: str) -> Optional[int]:
+    """Walk back along one wire, skipping commuting gates, to find a twin CNOT.
+
+    ``wire_role`` is "control" or "target": which pin of ``gate`` this wire is.
+    Returns the index of the matching CNOT, or None if a blocker appears.
+    """
+    control, target = gate.qubits
+    for entry in range(len(occurrences) - 1, -1, -1):
+        previous = occurrences[entry]
+        if not alive[previous]:
+            continue
+        other = gates[previous]
+        if other.name == g.CX and other.qubits == gate.qubits:
+            return previous
+        if wire_role == "control":
+            if other.is_one_qubit() and other.name in _DIAGONAL:
+                continue
+            if other.name == g.CX and other.qubits[0] == control:
+                continue
+        else:
+            if other.is_one_qubit() and other.name in _X_AXIS:
+                continue
+            if other.name == g.CX and other.qubits[1] == target:
+                continue
+        return None
+    return None
+
+
+def _try_cancel_cnot(gates, alive, index, position, gate) -> bool:
+    control, target = gate.qubits
+    match_control = _scan_back_for_cnot(
+        gates, alive, index.occurrences[control], gate, "control"
+    )
+    if match_control is None:
+        return False
+    match_target = _scan_back_for_cnot(
+        gates, alive, index.occurrences[target], gate, "target"
+    )
+    if match_target != match_control:
+        return False
+    alive[match_control] = False
+    alive[position] = False
+    return True

@@ -1,0 +1,61 @@
+"""Optimization pipelines mirroring the paper's post-compilation settings.
+
+- :func:`optimize_o3` — cancellation to fixpoint plus 1Q consolidation into
+  U3; this plays the role of "Qiskit O3" in the evaluation.
+- :func:`optimize_light` — cancellation only (no basis consolidation); this
+  plays the role of "T|Ket> O2"-style cleanup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit import gate as g
+from ..circuit.circuit import QuantumCircuit
+from .consolidate import consolidate_one_qubit_runs
+from .peephole import cancel_gates
+
+
+@dataclass
+class OptimizationReport:
+    """Before/after accounting for one optimization run."""
+
+    cnots_before: int
+    cnots_after: int
+    one_qubit_before: int
+    one_qubit_after: int
+
+    @property
+    def cnots_removed(self) -> int:
+        return self.cnots_before - self.cnots_after
+
+
+def optimize_o3(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Full optimization: decompose SWAPs, cancel to fixpoint, consolidate."""
+    reduced = cancel_gates(circuit.decompose_swaps())
+    return consolidate_one_qubit_runs(reduced)
+
+
+def optimize_light(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Cancellation only (keeps the synthesis-level 1Q basis)."""
+    return cancel_gates(circuit.decompose_swaps())
+
+
+def optimize_with_report(circuit: QuantumCircuit, level: int = 3):
+    """Optimize and report CNOT/1Q deltas.  ``level``: 0 none, 1 light, 3 full."""
+    decomposed = circuit.decompose_swaps()
+    before_cnot = decomposed.count_ops().get(g.CX, 0)
+    before_oneq = decomposed.num_one_qubit_gates()
+    if level <= 0:
+        optimized = decomposed
+    elif level < 3:
+        optimized = optimize_light(circuit)
+    else:
+        optimized = optimize_o3(circuit)
+    report = OptimizationReport(
+        cnots_before=before_cnot,
+        cnots_after=optimized.count_ops().get(g.CX, 0),
+        one_qubit_before=before_oneq,
+        one_qubit_after=optimized.num_one_qubit_gates(),
+    )
+    return optimized, report

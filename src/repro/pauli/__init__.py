@@ -1,0 +1,42 @@
+"""Pauli-string algebra substrate.
+
+Public surface:
+
+- :class:`PauliString` — immutable tensor product of single-qubit Paulis.
+- :class:`QubitOperator` — complex-weighted sums of Pauli strings.
+- :class:`PauliBlock` — the block abstraction shared by Paulihedral and
+  Tetris (strings grouped by ansatz-construction step).
+- similarity metrics (Eq. 1 of the paper).
+"""
+
+from .block import PauliBlock, flatten, total_strings
+from .operators import I, X, Y, Z, single_product
+from .pauli_string import PauliString
+from .qubit_operator import QubitOperator
+from .similarity import (
+    block_similarity,
+    common_leaf_qubits,
+    hamming_distance,
+    leaf_profile,
+    string_similarity,
+    support_overlap,
+)
+
+__all__ = [
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "PauliString",
+    "QubitOperator",
+    "PauliBlock",
+    "single_product",
+    "flatten",
+    "total_strings",
+    "block_similarity",
+    "common_leaf_qubits",
+    "hamming_distance",
+    "leaf_profile",
+    "string_similarity",
+    "support_overlap",
+]

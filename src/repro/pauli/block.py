@@ -1,0 +1,169 @@
+"""Pauli-string blocks — the unit of scheduling in Paulihedral and Tetris.
+
+A block groups Pauli strings that came from the same ansatz-construction
+step (e.g. one UCCSD excitation operator after encoding).  Strings within a
+block share most of their operators; this is the similarity both Paulihedral
+(1Q cancellation) and Tetris (2Q cancellation) exploit.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .operators import I
+from .pauli_string import PauliString
+
+
+class PauliBlock:
+    """An ordered group of Pauli strings sharing a rotation-angle factor.
+
+    Parameters
+    ----------
+    strings:
+        The Pauli strings, all of equal width.
+    weights:
+        Per-string weights (the paper's ``w1..wk``).  Defaults to 1.0 each.
+    angle:
+        The shared rotation-angle factor ``theta``.  The synthesized circuit
+        structure does not depend on it, but it is carried through to gate
+        parameters.
+    label:
+        Optional provenance label (e.g. the excitation ``(i, j) -> (a, b)``).
+    """
+
+    __slots__ = ("_strings", "_weights", "angle", "label")
+
+    def __init__(
+        self,
+        strings: Sequence[PauliString],
+        weights: Optional[Sequence[float]] = None,
+        angle: float = 1.0,
+        label: str = "",
+    ) -> None:
+        strings = [PauliString(s) for s in strings]
+        if not strings:
+            raise ValueError("a PauliBlock needs at least one string")
+        width = strings[0].num_qubits
+        for string in strings:
+            if string.num_qubits != width:
+                raise ValueError("all strings in a block must have equal width")
+        if weights is None:
+            weights = [1.0] * len(strings)
+        if len(weights) != len(strings):
+            raise ValueError("weights must match strings")
+        self._strings: Tuple[PauliString, ...] = tuple(strings)
+        self._weights: Tuple[float, ...] = tuple(float(w) for w in weights)
+        self.angle = float(angle)
+        self.label = label
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def strings(self) -> Tuple[PauliString, ...]:
+        return self._strings
+
+    @property
+    def weights(self) -> Tuple[float, ...]:
+        return self._weights
+
+    @property
+    def num_qubits(self) -> int:
+        return self._strings[0].num_qubits
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __iter__(self) -> Iterator[PauliString]:
+        return iter(self._strings)
+
+    def __getitem__(self, index: int) -> PauliString:
+        return self._strings[index]
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def support(self) -> FrozenSet[int]:
+        """Union of non-identity supports of all strings."""
+        qubits: set = set()
+        for string in self._strings:
+            qubits.update(string.support)
+        return frozenset(qubits)
+
+    @property
+    def active_length(self) -> int:
+        """The paper's *active length*: number of qubits touched by the block."""
+        return len(self.support)
+
+    def common_qubits(self) -> FrozenSet[int]:
+        """Qubits whose (non-identity) operator is identical across all strings.
+
+        This is the paper's *leaf-tree qubit set* (Sec. IV-A): the maximum
+        qubit set over which the corresponding Pauli operators are the same
+        for all strings in the block.
+        """
+        first = self._strings[0]
+        common = {q for q in first.support}
+        for string in self._strings[1:]:
+            common = {q for q in common if string[q] == first[q] and string[q] != I}
+            if not common:
+                break
+        return frozenset(common)
+
+    def root_qubits(self) -> FrozenSet[int]:
+        """The paper's *root-tree qubit set*: supported but not common."""
+        return frozenset(self.support - self.common_qubits())
+
+    def pairwise_commuting(self) -> bool:
+        """True iff every pair of strings in the block commutes.
+
+        Strings from one UCCSD excitation always commute; reordering a
+        block is only semantics-preserving when this holds.
+        """
+        for index, first in enumerate(self._strings):
+            for second in self._strings[index + 1:]:
+                if not first.commutes_with(second):
+                    return False
+        return True
+
+    def common_substring(self) -> PauliString:
+        """The shared operators as a string (identity off the common set)."""
+        return self._strings[0].restricted(self.common_qubits())
+
+    def reordered(self, order: Sequence[int]) -> "PauliBlock":
+        """Return a block with strings permuted by ``order``."""
+        return PauliBlock(
+            [self._strings[i] for i in order],
+            [self._weights[i] for i in order],
+            angle=self.angle,
+            label=self.label,
+        )
+
+    def merged_with(self, other: "PauliBlock") -> "PauliBlock":
+        """Concatenate two blocks into one larger Tetris block."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("block width mismatch")
+        return PauliBlock(
+            self._strings + other._strings,
+            self._weights + other._weights,
+            angle=self.angle,
+            label=f"{self.label}+{other.label}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PauliBlock({len(self)} strings, {self.num_qubits}q, "
+            f"label={self.label!r})"
+        )
+
+
+def total_strings(blocks: Iterable[PauliBlock]) -> int:
+    """Total number of Pauli strings across ``blocks``."""
+    return sum(len(block) for block in blocks)
+
+
+def flatten(blocks: Iterable[PauliBlock]) -> List[PauliString]:
+    """All strings of all blocks in order."""
+    out: List[PauliString] = []
+    for block in blocks:
+        out.extend(block.strings)
+    return out

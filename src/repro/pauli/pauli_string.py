@@ -1,0 +1,202 @@
+"""Immutable Pauli strings with symplectic-form products.
+
+A :class:`PauliString` is a tensor product of single-qubit Pauli operators,
+e.g. ``XXYZI``.  Position ``k`` in the string acts on qubit ``k`` (the paper's
+convention in Fig. 1).  Strings are immutable, hashable, and support fast
+products via the symplectic ``(x, z)`` representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+
+import numpy as np
+
+from .operators import (
+    I,
+    ORD_OF_XZ,
+    PAULI_CHARS,
+    X_BIT_OF_ORD,
+    Z_BIT_OF_ORD,
+)
+
+_PHASES = (1, 1j, -1, -1j)
+
+
+class PauliString:
+    """A fixed-width tensor product of single-qubit Pauli operators.
+
+    Parameters
+    ----------
+    ops:
+        The operator characters, e.g. ``"XXYZI"``, or an iterable of
+        single characters.  Only ``I``, ``X``, ``Y``, ``Z`` are allowed.
+
+    Examples
+    --------
+    >>> p = PauliString("XZI")
+    >>> p.num_qubits
+    3
+    >>> p.support
+    (0, 1)
+    >>> phase, q = p.product(PauliString("YZI"))
+    >>> (phase, str(q))
+    ((-0-1j), 'ZII')
+    """
+
+    __slots__ = ("_ops", "_hash")
+
+    def __init__(self, ops) -> None:
+        if isinstance(ops, PauliString):
+            text = ops._ops
+        elif isinstance(ops, str):
+            text = ops
+        else:
+            text = "".join(ops)
+        for char in text:
+            if char not in PAULI_CHARS:
+                raise ValueError(f"invalid Pauli character {char!r} in {text!r}")
+        self._ops = text
+        self._hash = hash(text)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def identity(cls, num_qubits: int) -> "PauliString":
+        """The all-identity string on ``num_qubits`` qubits."""
+        return cls(I * num_qubits)
+
+    @classmethod
+    def from_ops(cls, num_qubits: int, ops: Dict[int, str]) -> "PauliString":
+        """Build a string from a sparse ``{qubit: operator}`` mapping."""
+        chars = [I] * num_qubits
+        for qubit, char in ops.items():
+            if not 0 <= qubit < num_qubits:
+                raise ValueError(f"qubit {qubit} out of range 0..{num_qubits - 1}")
+            chars[qubit] = char
+        return cls("".join(chars))
+
+    @classmethod
+    def from_xz(cls, x_bits: np.ndarray, z_bits: np.ndarray) -> "PauliString":
+        """Build a string from symplectic bit vectors."""
+        ords = ORD_OF_XZ[np.asarray(x_bits, dtype=np.uint8),
+                         np.asarray(z_bits, dtype=np.uint8)]
+        return cls(ords.tobytes().decode("ascii"))
+
+    # -- basic views -----------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self._ops)
+
+    @property
+    def ops(self) -> str:
+        """The operator characters as a string, e.g. ``"XXYZI"``."""
+        return self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __getitem__(self, qubit: int) -> str:
+        return self._ops[qubit]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._ops)
+
+    @property
+    def support(self) -> Tuple[int, ...]:
+        """Qubits with a non-identity operator, ascending."""
+        return tuple(k for k, char in enumerate(self._ops) if char != I)
+
+    @property
+    def support_set(self) -> FrozenSet[int]:
+        return frozenset(self.support)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity operators (the paper's *active length*)."""
+        return sum(1 for char in self._ops if char != I)
+
+    def is_identity(self) -> bool:
+        return self.weight == 0
+
+    # -- symplectic form -------------------------------------------------------
+
+    def xz_bits(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return boolean ``(x, z)`` bit vectors of the symplectic encoding."""
+        ords = np.frombuffer(self._ops.encode("ascii"), dtype=np.uint8)
+        return X_BIT_OF_ORD[ords], Z_BIT_OF_ORD[ords]
+
+    # -- algebra ---------------------------------------------------------------
+
+    def product(self, other: "PauliString") -> Tuple[complex, "PauliString"]:
+        """Multiply ``self @ other``.
+
+        Returns ``(phase, result)`` with ``phase`` one of ``1, 1j, -1, -1j``.
+        """
+        if len(other) != len(self):
+            raise ValueError("Pauli strings must have equal width")
+        xa, za = self.xz_bits()
+        xb, zb = other.xz_bits()
+        xc = xa ^ xb
+        zc = za ^ zb
+        power = (
+            int(np.sum(xa.astype(np.int64) * za))
+            + int(np.sum(xb.astype(np.int64) * zb))
+            - int(np.sum(xc.astype(np.int64) * zc))
+            + 2 * int(np.sum(za.astype(np.int64) * xb))
+        ) % 4
+        return _PHASES[power], PauliString.from_xz(xc, zc)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True iff the two strings commute (symplectic inner product is 0)."""
+        xa, za = self.xz_bits()
+        xb, zb = other.xz_bits()
+        inner = int(np.sum(xa.astype(np.int64) * zb)) + int(
+            np.sum(za.astype(np.int64) * xb)
+        )
+        return inner % 2 == 0
+
+    # -- structure helpers used by the compilers -------------------------------
+
+    def common_qubits(self, other: "PauliString") -> Tuple[int, ...]:
+        """Qubits where both strings have the *same non-identity* operator."""
+        return tuple(
+            k
+            for k, (a, b) in enumerate(zip(self._ops, other._ops))
+            if a != I and a == b
+        )
+
+    def restricted(self, qubits: Iterable[int]) -> "PauliString":
+        """Keep operators only on ``qubits``; identity elsewhere."""
+        keep = set(qubits)
+        return PauliString(
+            "".join(char if k in keep else I for k, char in enumerate(self._ops))
+        )
+
+    def padded(self, num_qubits: int) -> "PauliString":
+        """Extend with identities up to ``num_qubits`` qubits."""
+        if num_qubits < len(self._ops):
+            raise ValueError("cannot shrink a Pauli string")
+        return PauliString(self._ops + I * (num_qubits - len(self._ops)))
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PauliString):
+            return self._ops == other._ops
+        if isinstance(other, str):
+            return self._ops == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "PauliString") -> bool:
+        return self._ops < other._ops
+
+    def __str__(self) -> str:
+        return self._ops
+
+    def __repr__(self) -> str:
+        return f"PauliString({self._ops!r})"

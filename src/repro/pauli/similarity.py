@@ -1,0 +1,66 @@
+"""Similarity metrics between Pauli strings and Tetris blocks.
+
+Implements Eq. (1) of the paper: the Jaccard-style similarity between two
+Tetris blocks based on the common part of their leaf trees, plus string-level
+helpers used by the schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from .block import PauliBlock
+from .operators import I
+from .pauli_string import PauliString
+
+
+def string_similarity(a: PauliString, b: PauliString) -> int:
+    """Number of qubits where two strings carry the same non-identity op."""
+    return len(a.common_qubits(b))
+
+
+def hamming_distance(a: PauliString, b: PauliString) -> int:
+    """Number of positions where the two strings differ."""
+    if a.num_qubits != b.num_qubits:
+        raise ValueError("width mismatch")
+    return sum(1 for x, y in zip(a.ops, b.ops) if x != y)
+
+
+def leaf_profile(block: PauliBlock) -> Dict[int, str]:
+    """The leaf-tree qubit set of ``block`` with its shared operators."""
+    common = block.common_qubits()
+    first = block.strings[0]
+    return {q: first[q] for q in sorted(common)}
+
+
+def common_leaf_qubits(a: PauliBlock, b: PauliBlock) -> FrozenSet[int]:
+    """Qubits in both leaf sets carrying the same operator in both blocks."""
+    profile_a = leaf_profile(a)
+    profile_b = leaf_profile(b)
+    return frozenset(
+        q for q, op in profile_a.items() if profile_b.get(q) == op and op != I
+    )
+
+
+def block_similarity(a: PauliBlock, b: PauliBlock) -> float:
+    """Eq. (1): ``S(T1,T2) = |C| / (|LT1| + |LT2| - |C|)``.
+
+    ``C`` is the common part of the two leaf trees.  Returns 0.0 when both
+    leaf sets are empty.
+    """
+    leaf_a = a.common_qubits()
+    leaf_b = b.common_qubits()
+    common = len(common_leaf_qubits(a, b))
+    denominator = len(leaf_a) + len(leaf_b) - common
+    if denominator == 0:
+        return 0.0
+    return common / denominator
+
+
+def support_overlap(a: PauliBlock, b: PauliBlock) -> float:
+    """Jaccard overlap of the blocks' supports (a coarser similarity)."""
+    sa, sb = a.support, b.support
+    union = len(sa | sb)
+    if union == 0:
+        return 0.0
+    return len(sa & sb) / union

@@ -1,0 +1,74 @@
+"""QAOA benchmark graphs (paper Sec. VI-F).
+
+Random graphs with a target edge count (the paper's density-0.1 instances)
+and 3-regular graphs, both via networkx with fixed seeds so every run of an
+experiment sees the same five instances.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+#: Edge counts of the paper's random instances (Table I).
+RANDOM_EDGE_COUNTS = {16: 25, 18: 31, 20: 40}
+
+
+def random_graph(num_nodes: int, num_edges: int, seed: int = 0) -> nx.Graph:
+    """A connected G(n, m) random graph."""
+    for attempt in range(100):
+        graph = nx.gnm_random_graph(num_nodes, num_edges, seed=seed + attempt * 1000)
+        if nx.is_connected(graph):
+            return graph
+    # Fall back: connect components with extra edges, then trim.
+    graph = nx.gnm_random_graph(num_nodes, num_edges, seed=seed)
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    for left, right in zip(components, components[1:]):
+        graph.add_edge(left[0], right[0])
+    while graph.number_of_edges() > num_edges:
+        for edge in list(graph.edges()):
+            trial = graph.copy()
+            trial.remove_edge(*edge)
+            if nx.is_connected(trial):
+                graph = trial
+                break
+        else:
+            break
+    return graph
+
+
+def regular_graph(num_nodes: int, degree: int = 3, seed: int = 0) -> nx.Graph:
+    """A connected d-regular graph."""
+    for attempt in range(100):
+        graph = nx.random_regular_graph(degree, num_nodes, seed=seed + attempt * 1000)
+        if nx.is_connected(graph):
+            return graph
+    raise RuntimeError("could not build a connected regular graph")
+
+
+def benchmark_graph(name: str, seed: int = 0) -> nx.Graph:
+    """Resolve a paper benchmark name: "Rand-16", "REG3-20", ..."""
+    kind, size_text = name.split("-")
+    size = int(size_text)
+    if kind.lower() in ("rand", "ran"):
+        edges = RANDOM_EDGE_COUNTS.get(size, max(size, int(0.1 * size * (size - 1) / 2)))
+        return random_graph(size, edges, seed=seed)
+    if kind.lower() in ("reg3", "reg"):
+        return regular_graph(size, 3, seed=seed)
+    raise ValueError(f"unknown QAOA benchmark {name!r}")
+
+
+def edge_list(graph: nx.Graph) -> List[Tuple[int, int]]:
+    """Sorted, normalized edges."""
+    return sorted((min(a, b), max(a, b)) for a, b in graph.edges())
+
+
+QAOA_BENCHMARKS: Tuple[str, ...] = (
+    "Rand-16",
+    "Rand-18",
+    "Rand-20",
+    "REG3-16",
+    "REG3-18",
+    "REG3-20",
+)

@@ -1,0 +1,167 @@
+"""Logical <-> physical qubit layout."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..hardware.coupling import CouplingGraph
+
+
+class Layout:
+    """A bijective partial map from logical qubits to physical qubits.
+
+    Physical qubits not holding a logical qubit are *free* — candidates for
+    fast bridging (they stay in |0> until used).
+    """
+
+    __slots__ = ("num_logical", "num_physical", "_phys_of", "_log_of")
+
+    def __init__(self, num_logical: int, num_physical: int) -> None:
+        if num_logical > num_physical:
+            raise ValueError("more logical qubits than physical qubits")
+        self.num_logical = num_logical
+        self.num_physical = num_physical
+        self._phys_of: Dict[int, int] = {}
+        self._log_of: Dict[int, int] = {}
+
+    @classmethod
+    def trivial(cls, num_logical: int, num_physical: int) -> "Layout":
+        layout = cls(num_logical, num_physical)
+        for q in range(num_logical):
+            layout.place(q, q)
+        return layout
+
+    @classmethod
+    def from_physical_list(cls, physical: Sequence[int], num_physical: int) -> "Layout":
+        layout = cls(len(physical), num_physical)
+        for logical, phys in enumerate(physical):
+            layout.place(logical, phys)
+        return layout
+
+    def place(self, logical: int, physical: int) -> None:
+        if logical in self._phys_of:
+            raise ValueError(f"logical qubit {logical} already placed")
+        if physical in self._log_of:
+            raise ValueError(f"physical qubit {physical} already occupied")
+        self._phys_of[logical] = physical
+        self._log_of[physical] = logical
+
+    def physical(self, logical: int) -> int:
+        return self._phys_of[logical]
+
+    def logical(self, physical: int) -> Optional[int]:
+        return self._log_of.get(physical)
+
+    def is_occupied(self, physical: int) -> bool:
+        return physical in self._log_of
+
+    def free_physical(self) -> List[int]:
+        return [p for p in range(self.num_physical) if p not in self._log_of]
+
+    def remove(self, logical: int) -> int:
+        """Retire a logical qubit (e.g. after mid-circuit measurement).
+
+        Returns the physical qubit it occupied, which becomes free — a
+        candidate bridge ancilla once reset to |0>.
+        """
+        physical = self._phys_of.pop(logical)
+        del self._log_of[physical]
+        return physical
+
+    def swap_physical(self, a: int, b: int) -> None:
+        """Exchange the logical contents of physical qubits ``a`` and ``b``."""
+        la, lb = self._log_of.get(a), self._log_of.get(b)
+        if la is not None:
+            self._phys_of[la] = b
+        if lb is not None:
+            self._phys_of[lb] = a
+        if la is None:
+            self._log_of.pop(b, None)
+        else:
+            self._log_of[b] = la
+        if lb is None:
+            self._log_of.pop(a, None)
+        else:
+            self._log_of[a] = lb
+
+    def copy(self) -> "Layout":
+        out = Layout(self.num_logical, self.num_physical)
+        out._phys_of = dict(self._phys_of)
+        out._log_of = dict(self._log_of)
+        return out
+
+    def as_physical_list(self) -> List[int]:
+        return [self._phys_of[q] for q in range(self.num_logical)]
+
+    def __repr__(self) -> str:
+        return f"Layout({self.num_logical} -> {self.num_physical}: {self._phys_of})"
+
+
+def greedy_interaction_layout(
+    num_logical: int,
+    coupling: CouplingGraph,
+    interactions: Iterable,
+    seed_qubit: Optional[int] = None,
+) -> Layout:
+    """Place heavily-interacting logical qubits on adjacent physical qubits.
+
+    ``interactions`` is an iterable of ``(a, b)`` logical pairs (duplicates
+    increase weight).  Logical qubits are placed in order of interaction
+    degree, each next to its most-connected already-placed partner.
+    """
+    weight: Dict[tuple, int] = {}
+    degree = [0] * num_logical
+    for a, b in interactions:
+        key = (min(a, b), max(a, b))
+        weight[key] = weight.get(key, 0) + 1
+        degree[a] += 1
+        degree[b] += 1
+
+    layout = Layout(num_logical, coupling.num_qubits)
+    order = sorted(range(num_logical), key=lambda q: -degree[q])
+    if not order:
+        return layout
+    # Seed: the highest-degree logical qubit on the best-connected physical.
+    if seed_qubit is None:
+        seed_qubit = max(
+            range(coupling.num_qubits),
+            key=lambda p: (coupling.degree(p), -p),
+        )
+    layout.place(order[0], seed_qubit)
+    distance = coupling.distance_matrix()
+    for logical in order[1:]:
+        placed_partners = [
+            (weight.get((min(logical, other), max(logical, other)), 0), other)
+            for other in range(num_logical)
+            if other != logical and _is_placed(layout, other)
+        ]
+        placed_partners = [(w, o) for w, o in placed_partners if w > 0]
+        free = layout.free_physical()
+        if not free:
+            raise ValueError("no free physical qubits remain")
+        if placed_partners:
+            # Minimize weighted distance to placed partners.
+            def cost(candidate: int) -> float:
+                return sum(
+                    w * distance[candidate, layout.physical(o)]
+                    for w, o in placed_partners
+                )
+
+            best = min(free, key=lambda p: (cost(p), p))
+        else:
+            anchors = [layout.physical(o) for o in range(num_logical)
+                       if _is_placed(layout, o)]
+            best = min(
+                free,
+                key=lambda p: (min(distance[p, a] for a in anchors), p),
+            )
+        layout.place(logical, best)
+    return layout
+
+
+def _is_placed(layout: Layout, logical: int) -> bool:
+    try:
+        layout.physical(logical)
+        return True
+    except KeyError:
+        return False

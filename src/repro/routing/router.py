@@ -1,0 +1,134 @@
+"""A SABRE-style sequential SWAP router.
+
+Used by the hardware-oblivious baselines (T|Ket>-like, PCOAST-like,
+max_cancel) that first build a logical circuit and then solve connectivity.
+The router walks the gate list in order; when a CNOT's qubits are distant it
+moves one endpoint along a shortest path, choosing the endpoint (and path)
+that also helps upcoming gates within a lookahead window.
+
+The emitted circuit is over *physical* wires; SWAPs are recorded as SWAP
+gates so downstream accounting can attribute their 3 CNOTs each.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit import gate as g
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gate import Gate
+from ..hardware.coupling import CouplingGraph
+from .layout import Layout
+
+_LOOKAHEAD_WINDOW = 24
+_LOOKAHEAD_DECAY = 0.7
+
+
+@dataclass
+class RoutingResult:
+    """A routed physical circuit plus SWAP accounting."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def swap_cnots(self) -> int:
+        return 3 * self.num_swaps
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    layout: Optional[Layout] = None,
+) -> RoutingResult:
+    """Route a logical circuit onto ``coupling``; returns physical circuit."""
+    if circuit.num_qubits > coupling.num_qubits:
+        raise ValueError("circuit wider than the device")
+    working = (layout or Layout.trivial(circuit.num_qubits, coupling.num_qubits)).copy()
+    initial = working.copy()
+    out = QuantumCircuit(coupling.num_qubits, circuit.name)
+    num_swaps = 0
+
+    # Precompute the positions of upcoming 2Q gates per logical qubit for
+    # the lookahead score.
+    upcoming: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+    for position, gate in enumerate(circuit.gates):
+        if gate.name == g.CX or gate.name == g.SWAP:
+            a, b = gate.qubits
+            upcoming[a].append((position, b))
+            upcoming[b].append((position, a))
+    cursor: Dict[int, int] = defaultdict(int)
+    distance = coupling.distance_matrix()
+
+    def lookahead_cost(logical: int, physical: int, position: int) -> float:
+        """Decayed distance from ``physical`` to upcoming partners of ``logical``."""
+        total = 0.0
+        weight = 1.0
+        count = 0
+        entries = upcoming[logical]
+        start = cursor[logical]
+        for index in range(start, len(entries)):
+            gate_position, partner = entries[index]
+            if gate_position <= position:
+                continue
+            try:
+                partner_physical = working.physical(partner)
+            except KeyError:
+                continue
+            total += weight * distance[physical, partner_physical]
+            weight *= _LOOKAHEAD_DECAY
+            count += 1
+            if count >= _LOOKAHEAD_WINDOW:
+                break
+        return total
+
+    for position, gate in enumerate(circuit.gates):
+        if gate.num_qubits == 1:
+            out.append(gate.remapped({gate.qubits[0]: working.physical(gate.qubits[0])}))
+            continue
+        if gate.name == g.BARRIER:
+            continue
+        a, b = gate.qubits
+        for q in (a, b):
+            entries = upcoming[q]
+            while cursor[q] < len(entries) and entries[cursor[q]][0] <= position:
+                cursor[q] += 1
+        pa, pb = working.physical(a), working.physical(b)
+        while distance[pa, pb] > 1:
+            path = coupling.shortest_path(pa, pb)
+            assert path is not None
+            # Two candidate moves: advance a's end or b's end one hop.
+            move_a = (pa, path[1])
+            move_b = (pb, path[-2])
+            cost_a = lookahead_cost(a, path[1], position) + lookahead_cost(
+                b, pb, position
+            )
+            cost_b = lookahead_cost(a, pa, position) + lookahead_cost(
+                b, path[-2], position
+            )
+            chosen = move_a if cost_a <= cost_b else move_b
+            out.swap(*chosen)
+            working.swap_physical(*chosen)
+            num_swaps += 1
+            pa, pb = working.physical(a), working.physical(b)
+        out.append(Gate(gate.name, (pa, pb), gate.params))
+
+    return RoutingResult(
+        circuit=out,
+        initial_layout=initial,
+        final_layout=working,
+        num_swaps=num_swaps,
+    )
+
+
+def verify_hardware_compliant(circuit: QuantumCircuit, coupling: CouplingGraph) -> bool:
+    """True iff every 2Q gate acts on a coupled physical pair."""
+    for gate in circuit.gates:
+        if gate.num_qubits == 2 and not coupling.are_connected(*gate.qubits):
+            return False
+    return True

@@ -1,0 +1,35 @@
+"""Simulation substrate: statevector, unitaries, and noise models."""
+
+from .noise import (
+    FidelityEstimate,
+    NoiseModel,
+    error_free_probability,
+    estimate_fidelity,
+    trajectory_fidelity,
+)
+from .statevector import (
+    Statevector,
+    circuit_unitary,
+    run_statevector,
+    unitaries_equal,
+)
+from .unitaries import (
+    gate_unitary,
+    pauli_exponential_matrix,
+    pauli_matrix,
+)
+
+__all__ = [
+    "Statevector",
+    "circuit_unitary",
+    "run_statevector",
+    "unitaries_equal",
+    "gate_unitary",
+    "pauli_matrix",
+    "pauli_exponential_matrix",
+    "NoiseModel",
+    "FidelityEstimate",
+    "error_free_probability",
+    "estimate_fidelity",
+    "trajectory_fidelity",
+]

@@ -1,0 +1,87 @@
+"""Dense gate unitaries for simulation and verification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit import gate as g
+from ..circuit.gate import Gate
+from ..pauli.operators import MATRICES
+from ..pauli.pauli_string import PauliString
+
+_SQRT2 = np.sqrt(2.0)
+
+_FIXED = {
+    g.H: np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2,
+    g.S: np.array([[1, 0], [0, 1j]], dtype=complex),
+    g.SDG: np.array([[1, 0], [0, -1j]], dtype=complex),
+    g.X: MATRICES["X"],
+    g.Y: MATRICES["Y"],
+    g.Z: MATRICES["Z"],
+    g.CX: np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    ),
+    g.SWAP: np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    ),
+}
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def gate_unitary(gate: Gate) -> np.ndarray:
+    """Dense unitary of a single gate on its own qubits."""
+    if gate.name in _FIXED:
+        return _FIXED[gate.name]
+    if gate.name == g.RX:
+        return rx_matrix(gate.params[0])
+    if gate.name == g.RY:
+        return ry_matrix(gate.params[0])
+    if gate.name == g.RZ:
+        return rz_matrix(gate.params[0])
+    if gate.name == g.U3:
+        return u3_matrix(*gate.params)
+    raise ValueError(f"gate {gate.name!r} has no unitary")
+
+
+def pauli_matrix(string: PauliString) -> np.ndarray:
+    """Dense matrix of a Pauli string (qubit 0 = most significant factor)."""
+    out = np.array([[1.0 + 0j]])
+    for char in string.ops:
+        out = np.kron(out, MATRICES[char])
+    return out
+
+
+def pauli_exponential_matrix(string: PauliString, theta: float) -> np.ndarray:
+    """Exact ``exp(-i theta/2 * P)`` via the Pauli involution identity."""
+    matrix = pauli_matrix(string)
+    dim = matrix.shape[0]
+    return (
+        np.cos(theta / 2) * np.eye(dim, dtype=complex)
+        - 1j * np.sin(theta / 2) * matrix
+    )

@@ -1,0 +1,38 @@
+"""Single-qubit basis-change layers for Pauli exponentials.
+
+``exp(-i theta/2 P)`` is synthesized by conjugating an ``RZ`` rotation with
+basis changes: ``X = H Z H`` and ``Y = (S H) Z (S H)^dagger``.  For each
+supported qubit the *pre* layer rotates its operator into Z, and the *post*
+layer (the exact inverse) rotates back — the wrap-around single-qubit layers
+of Fig. 1(b).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit import gate as g
+from ..circuit.gate import Gate
+from ..pauli.operators import X, Y, Z
+
+
+def pre_rotation_gates(op: str, qubit: int) -> List[Gate]:
+    """Gates applied *before* the CNOT tree to map ``op`` onto Z."""
+    if op == Z:
+        return []
+    if op == X:
+        return [Gate(g.H, (qubit,))]
+    if op == Y:
+        return [Gate(g.SDG, (qubit,)), Gate(g.H, (qubit,))]
+    raise ValueError(f"no basis change for operator {op!r}")
+
+
+def post_rotation_gates(op: str, qubit: int) -> List[Gate]:
+    """Gates applied *after* the mirrored CNOT tree (inverse of pre)."""
+    if op == Z:
+        return []
+    if op == X:
+        return [Gate(g.H, (qubit,))]
+    if op == Y:
+        return [Gate(g.H, (qubit,)), Gate(g.S, (qubit,))]
+    raise ValueError(f"no basis change for operator {op!r}")

@@ -1,0 +1,37 @@
+"""Naive ladder (chain) synthesis — the generic per-string strategy.
+
+This is what hardware-oblivious compilers such as T|Ket> emit for a Pauli
+exponential: a CNOT ladder over the support in index order.  It serves as
+the per-string building block of the tket-like baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..pauli.pauli_string import PauliString
+from .tree import PauliTree
+from .tree_synth import synthesize_from_tree
+
+
+def chain_tree(string: PauliString, order: Optional[Sequence[int]] = None) -> PauliTree:
+    """A path tree over the string's support (root = last qubit in order)."""
+    support = list(string.support)
+    if order is not None:
+        order = list(order)
+        if sorted(order) != sorted(support):
+            raise ValueError("order must be a permutation of the support")
+        support = order
+    return PauliTree.chain(support)
+
+
+def synthesize_chain(
+    string: PauliString,
+    angle: float,
+    circuit: Optional[QuantumCircuit] = None,
+) -> QuantumCircuit:
+    """Emit the exponential with an ascending-index CNOT ladder."""
+    if string.is_identity():
+        return circuit if circuit is not None else QuantumCircuit(string.num_qubits)
+    return synthesize_from_tree(string, angle, chain_tree(string), circuit)

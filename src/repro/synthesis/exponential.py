@@ -1,0 +1,37 @@
+"""High-level entry point for synthesizing Pauli-string exponentials."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuit.circuit import QuantumCircuit
+from ..pauli.block import PauliBlock
+from ..pauli.pauli_string import PauliString
+from .chain import synthesize_chain
+from .tree import PauliTree
+from .tree_synth import synthesize_from_tree
+
+
+def synthesize_pauli_exponential(
+    string: PauliString,
+    angle: float,
+    tree: Optional[PauliTree] = None,
+) -> QuantumCircuit:
+    """Synthesize ``exp(-i angle/2 * string)`` into a fresh circuit.
+
+    With ``tree=None`` a CNOT ladder over the support is used; any valid
+    tree over the support produces an equivalent circuit (the freedom the
+    Tetris compiler optimizes over).
+    """
+    if tree is None:
+        return synthesize_chain(string, angle)
+    return synthesize_from_tree(string, angle, tree)
+
+
+def synthesize_block_naive(block: PauliBlock) -> QuantumCircuit:
+    """Synthesize every string of a block back to back with chain trees."""
+    circuit = QuantumCircuit(block.num_qubits)
+    for string, weight in zip(block.strings, block.weights):
+        if not string.is_identity():
+            synthesize_chain(string, block.angle * weight, circuit)
+    return circuit

@@ -1,0 +1,117 @@
+"""The CNOT tree abstraction (paper Sec. I, Fig. 1).
+
+A :class:`PauliTree` is a rooted, directed tree over the supported qubits of
+a Pauli string.  Every directed edge ``child -> parent`` becomes a
+``CNOT(child, parent)``; edges deeper in the tree execute first, the root
+receives the accumulated parity, an ``RZ`` fires on the root, and the CNOTs
+mirror back.  Any valid tree over the support yields a correct circuit — the
+freedom Tetris exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+
+class PauliTree:
+    """A rooted tree over qubit indices.
+
+    Parameters
+    ----------
+    root:
+        The root qubit (receives the RZ rotation).
+    parent:
+        Mapping ``child -> parent`` for every non-root node.
+    """
+
+    __slots__ = ("root", "parent", "_depths")
+
+    def __init__(self, root: int, parent: Dict[int, int]) -> None:
+        self.root = root
+        self.parent = dict(parent)
+        if root in self.parent:
+            raise ValueError("the root cannot have a parent")
+        self._depths = self._compute_depths()
+
+    @classmethod
+    def chain(cls, qubits: Sequence[int]) -> "PauliTree":
+        """A path tree: qubits[0] -> qubits[1] -> ... -> qubits[-1] (root)."""
+        if not qubits:
+            raise ValueError("a tree needs at least one qubit")
+        parent = {qubits[i]: qubits[i + 1] for i in range(len(qubits) - 1)}
+        return cls(qubits[-1], parent)
+
+    @classmethod
+    def star(cls, root: int, leaves: Iterable[int]) -> "PauliTree":
+        """All leaves point directly at the root."""
+        return cls(root, {leaf: root for leaf in leaves})
+
+    def _compute_depths(self) -> Dict[int, int]:
+        depths: Dict[int, int] = {self.root: 0}
+
+        def depth_of(node: int, trail: Tuple[int, ...]) -> int:
+            if node in depths:
+                return depths[node]
+            if node in trail:
+                raise ValueError(f"cycle detected through qubit {node}")
+            if node not in self.parent:
+                raise ValueError(f"qubit {node} has no path to the root")
+            depths[node] = depth_of(self.parent[node], trail + (node,)) + 1
+            return depths[node]
+
+        for node in self.parent:
+            depth_of(node, ())
+        return depths
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def nodes(self) -> FrozenSet[int]:
+        return frozenset(self._depths)
+
+    @property
+    def size(self) -> int:
+        return len(self._depths)
+
+    def depth_of(self, node: int) -> int:
+        return self._depths[node]
+
+    def children_of(self, node: int) -> Tuple[int, ...]:
+        return tuple(sorted(c for c, p in self.parent.items() if p == node))
+
+    def leaves(self) -> Tuple[int, ...]:
+        parents = set(self.parent.values())
+        return tuple(sorted(n for n in self._depths if n not in parents))
+
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """All ``(child, parent)`` edges."""
+        return tuple(sorted(self.parent.items()))
+
+    # -- scheduling --------------------------------------------------------------
+
+    def cnot_schedule(self) -> List[Tuple[int, int]]:
+        """Edges in execution order for the fan-in half of the circuit.
+
+        An edge ``(c, p)`` must run after every edge in ``c``'s subtree, so
+        edges are emitted in order of decreasing child depth.  Edges at equal
+        depth are independent and may run in parallel; we order them by qubit
+        index for determinism.
+        """
+        return sorted(
+            self.parent.items(), key=lambda edge: (-self._depths[edge[0]], edge[0])
+        )
+
+    def subtree_nodes(self, node: int) -> FrozenSet[int]:
+        """All nodes in the subtree rooted at ``node`` (inclusive)."""
+        out = {node}
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for child in self.children_of(current):
+                if child not in out:
+                    out.add(child)
+                    frontier.append(child)
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"PauliTree(root={self.root}, size={self.size})"

@@ -1,0 +1,46 @@
+"""Tree -> circuit emission for a single Pauli-string exponential."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuit import gate as g
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gate import Gate
+from ..pauli.pauli_string import PauliString
+from .basis_change import post_rotation_gates, pre_rotation_gates
+from .tree import PauliTree
+
+
+def synthesize_from_tree(
+    string: PauliString,
+    angle: float,
+    tree: PauliTree,
+    circuit: Optional[QuantumCircuit] = None,
+) -> QuantumCircuit:
+    """Emit ``exp(-i angle/2 * string)`` using ``tree`` for the CNOT fan-in.
+
+    The tree's node set must equal the string's support.  If ``circuit`` is
+    given, gates are appended to it (and it is returned); otherwise a fresh
+    circuit of the string's width is created.
+    """
+    support = string.support_set
+    if tree.nodes != support:
+        raise ValueError(
+            f"tree nodes {sorted(tree.nodes)} != string support {sorted(support)}"
+        )
+    out = circuit if circuit is not None else QuantumCircuit(string.num_qubits)
+
+    for qubit in sorted(support):
+        out.extend(pre_rotation_gates(string[qubit], qubit))
+
+    schedule = tree.cnot_schedule()
+    for child, parent in schedule:
+        out.append(Gate(g.CX, (child, parent)))
+    out.rz(angle, tree.root)
+    for child, parent in reversed(schedule):
+        out.append(Gate(g.CX, (child, parent)))
+
+    for qubit in sorted(support):
+        out.extend(post_rotation_gates(string[qubit], qubit))
+    return out

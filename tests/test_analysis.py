@@ -1,0 +1,77 @@
+"""Tests for the analysis layer: runner, tables."""
+
+import pytest
+
+from repro.analysis import (
+    compile_and_measure,
+    format_table,
+    improvement,
+    logical_cancel_ratio,
+)
+from repro.compiler import PaulihedralCompiler, TetrisCompiler
+from repro.hardware import linear
+from repro.pauli import PauliBlock, PauliString
+
+
+def sample_blocks():
+    return [
+        PauliBlock(
+            [PauliString("XZZY"), PauliString("YZZX")], weights=[0.5, -0.5]
+        ),
+        PauliBlock([PauliString("ZZII")]),
+    ]
+
+
+class TestCompileAndMeasure:
+    def test_record_fields(self):
+        record = compile_and_measure(TetrisCompiler(), sample_blocks(), linear(6))
+        assert record.compiler_name.startswith("tetris")
+        assert record.metrics.cnot_gates >= 0
+        assert record.metrics.logical_cnots == 2 * (2 * 3) + 2 * 1
+        assert record.total_seconds >= record.result.compile_seconds
+
+    def test_optimization_levels_ordered(self):
+        blocks = sample_blocks()
+        raw = compile_and_measure(
+            PaulihedralCompiler(), blocks, linear(6), optimization_level=0
+        )
+        light = compile_and_measure(
+            PaulihedralCompiler(), blocks, linear(6), optimization_level=1
+        )
+        full = compile_and_measure(
+            PaulihedralCompiler(), blocks, linear(6), optimization_level=3
+        )
+        assert full.metrics.cnot_gates <= light.metrics.cnot_gates <= raw.metrics.cnot_gates
+        assert full.metrics.total_gates <= light.metrics.total_gates
+
+    def test_logical_cancel_ratio_bounds(self):
+        ratio = logical_cancel_ratio(TetrisCompiler(), sample_blocks())
+        assert 0.0 <= ratio <= 1.0
+
+
+class TestTables:
+    def test_format_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.125}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert len(lines) == 4
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        assert "b" not in format_table(rows, columns=["a"])
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_thousands(self):
+        text = format_table([{"n": 12345.0}])
+        assert "12,345" in text
+
+
+class TestImprovement:
+    def test_reduction_is_negative(self):
+        assert improvement(100, 80) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        assert improvement(0, 10) == 0.0

@@ -1,0 +1,64 @@
+"""Tests for the command-line tools (repro.cli and the experiment runner)."""
+
+import os
+
+import pytest
+
+from repro import cli
+from repro.experiments import runner
+
+
+class TestCli:
+    def test_molecule_compile(self, capsys):
+        assert cli.main(["--bench", "LiH", "--blocks", "6", "--device", "linear"]) == 0
+        out = capsys.readouterr().out
+        assert "tetris" in out
+        assert "cnot" in out
+
+    def test_qaoa_compile(self, capsys):
+        assert (
+            cli.main(
+                ["--bench", "Rand-16", "--compiler", "tetris-qaoa",
+                 "--device", "ithaca"]
+            )
+            == 0
+        )
+        assert "tetris-qaoa" in capsys.readouterr().out
+
+    def test_qasm_output(self, tmp_path, capsys):
+        path = str(tmp_path / "out.qasm")
+        cli.main(
+            ["--bench", "LiH", "--blocks", "3", "--device", "linear",
+             "--qasm", path]
+        )
+        with open(path) as handle:
+            assert handle.readline().strip() == "OPENQASM 2.0;"
+
+    def test_every_compiler_runs(self, capsys):
+        for name in ("paulihedral", "max-cancel", "tket-like", "pcoast-like"):
+            assert (
+                cli.main(
+                    ["--bench", "LiH", "--blocks", "4", "--device", "linear",
+                     "--compiler", name]
+                )
+                == 0
+            )
+
+    def test_unknown_device(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--bench", "LiH", "--device", "torus"])
+
+
+class TestExperimentRunner:
+    def test_single_experiment(self, capsys):
+        assert runner.main(["--experiment", "table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "LiH" in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert runner.main([]) == 2
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--experiment", "fig99"])

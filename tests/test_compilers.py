@@ -1,0 +1,182 @@
+"""Cross-compiler tests: hardware compliance, semantics, accounting.
+
+The semantic checks replay each compiler's recorded block order through a
+naive reference circuit and compare statevectors modulo the layout
+permutation — the strongest property a compiler can satisfy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import BravyiKitaevEncoder, molecule_blocks
+from repro.compiler import (
+    MaxCancelCompiler,
+    PaulihedralCompiler,
+    PCoastLikeCompiler,
+    TetrisCompiler,
+    TketLikeCompiler,
+    logical_cnot_count,
+)
+from repro.hardware import fully_connected, grid, linear, ring
+from repro.passes import optimize_o3
+from repro.pauli import PauliBlock, PauliString
+from repro.routing import verify_hardware_compliant
+
+from helpers import assert_physical_equivalence
+
+ALL_COMPILERS = [
+    TetrisCompiler(),
+    TetrisCompiler(lookahead=0),
+    TetrisCompiler(enable_bridging=False),
+    PaulihedralCompiler(),
+    MaxCancelCompiler(),
+    TketLikeCompiler(),
+    TketLikeCompiler(style="qiskit-o3"),
+    PCoastLikeCompiler(),
+]
+
+IDS = [
+    "tetris",
+    "tetris-sim-sched",
+    "tetris-nobridge",
+    "paulihedral",
+    "max_cancel",
+    "tket-o2",
+    "tket-o3",
+    "pcoast",
+]
+
+
+def small_chemistry_blocks(num_blocks=6):
+    """A few real UCCSD blocks on 6 qubits (trimmed from LiH's 12)."""
+    from repro.chem.uccsd import uccsd_blocks
+    from repro.chem import JordanWignerEncoder
+    from repro.chem.amplitudes import synthetic_amplitudes
+
+    blocks = uccsd_blocks(3, 1, JordanWignerEncoder(), synthetic_amplitudes(20))
+    return blocks[:num_blocks]
+
+
+def handmade_blocks():
+    """Blocks whose strings pairwise commute (so reordering is sound)."""
+    return [
+        PauliBlock(
+            [PauliString("XYZZZI"), PauliString("YXZZZI")],
+            weights=[0.5, -0.5],
+            angle=0.7,
+        ),
+        PauliBlock(
+            [PauliString("IXZZZY"), PauliString("IYZZZX")],
+            weights=[0.5, -0.5],
+            angle=-0.4,
+        ),
+        PauliBlock([PauliString("ZZIIII")], angle=0.3),
+    ]
+
+
+@pytest.mark.parametrize("compiler", ALL_COMPILERS, ids=IDS)
+class TestAllCompilers:
+    def test_hardware_compliance(self, compiler):
+        blocks = small_chemistry_blocks()
+        for coupling in (linear(8), grid(2, 4), ring(8)):
+            result = compiler.compile_timed(blocks, coupling)
+            assert verify_hardware_compliant(result.circuit, coupling), compiler.name
+            optimized = optimize_o3(result.circuit)
+            assert verify_hardware_compliant(optimized, coupling)
+
+    def test_semantic_equivalence(self, compiler):
+        blocks = handmade_blocks()
+        coupling = linear(8)
+        result = compiler.compile_timed(blocks, coupling)
+        assert_physical_equivalence(result, blocks)
+
+    def test_semantic_equivalence_real_uccsd(self, compiler):
+        blocks = small_chemistry_blocks(4)
+        coupling = grid(2, 4)
+        result = compiler.compile_timed(blocks, coupling)
+        assert_physical_equivalence(result, blocks)
+
+    def test_accounting_consistency(self, compiler):
+        blocks = small_chemistry_blocks()
+        coupling = linear(8)
+        result = compiler.compile_timed(blocks, coupling)
+        metrics = result.metrics()
+        assert metrics.logical_cnots == logical_cnot_count(blocks)
+        assert metrics.swap_cnots == 3 * result.num_swaps
+        # Emitted = total - swaps - bridge overhead; never negative pre-O3.
+        emitted = metrics.cnot_gates - metrics.swap_cnots - metrics.bridge_cnots
+        assert 0 <= emitted <= metrics.logical_cnots
+        assert metrics.compile_seconds >= 0
+
+    def test_determinism(self, compiler):
+        blocks = small_chemistry_blocks()
+        coupling = linear(8)
+        first = compiler.compile_timed(blocks, coupling)
+        second = compiler.compile_timed(blocks, coupling)
+        assert first.circuit.gates == second.circuit.gates
+
+
+class TestTetrisSpecifics:
+    def test_beats_paulihedral_on_logical_cancellation(self):
+        blocks = molecule_blocks("LiH")[:30]
+        device = fully_connected(12)
+        tetris = TetrisCompiler().compile_timed(blocks, device)
+        ph = PaulihedralCompiler().compile_timed(blocks, device)
+        tetris_cx = optimize_o3(tetris.circuit).count_ops().get("cx", 0)
+        ph_cx = optimize_o3(ph.circuit).count_ops().get("cx", 0)
+        assert tetris_cx < ph_cx
+
+    def test_bk_blocks_compile(self):
+        """Non-uniform supports (BK) exercise the per-string fallback."""
+        from repro.chem.uccsd import uccsd_blocks
+        from repro.chem.amplitudes import synthetic_amplitudes
+
+        blocks = uccsd_blocks(3, 1, BravyiKitaevEncoder(), synthetic_amplitudes(20))[:4]
+        coupling = grid(2, 4)
+        result = TetrisCompiler().compile_timed(blocks, coupling)
+        assert verify_hardware_compliant(result.circuit, coupling)
+        assert_physical_equivalence(result, blocks)
+
+    def test_block_order_is_permutation(self):
+        blocks = small_chemistry_blocks()
+        result = TetrisCompiler().compile_timed(blocks, linear(8))
+        order = result.extra["block_order"]
+        assert sorted(order) == list(range(len(blocks)))
+
+    def test_swap_weight_tradeoff_direction(self):
+        blocks = molecule_blocks("LiH")[:40]
+        from repro.hardware import ibm_ithaca_65
+
+        coupling = ibm_ithaca_65()
+        low = TetrisCompiler(swap_weight=0.1).compile_timed(blocks, coupling)
+        high = TetrisCompiler(swap_weight=100).compile_timed(blocks, coupling)
+        assert high.num_swaps <= low.num_swaps
+
+
+class TestMaxCancelSpecifics:
+    def test_highest_logical_cancellation(self):
+        from repro.analysis import logical_cancel_ratio
+
+        blocks = molecule_blocks("LiH")[:30]
+        best = logical_cancel_ratio(MaxCancelCompiler(), blocks)
+        ph = logical_cancel_ratio(PaulihedralCompiler(), blocks)
+        tetris = logical_cancel_ratio(TetrisCompiler(), blocks)
+        assert ph <= tetris <= best + 1e-9
+
+
+class TestSingleBlockEdgeCases:
+    @pytest.mark.parametrize("compiler", ALL_COMPILERS, ids=IDS)
+    def test_single_string_single_qubit(self, compiler):
+        blocks = [PauliBlock([PauliString("IZII")], angle=0.9)]
+        result = compiler.compile_timed(blocks, linear(4))
+        assert_physical_equivalence(result, blocks)
+
+    @pytest.mark.parametrize("compiler", ALL_COMPILERS, ids=IDS)
+    def test_identical_strings_block(self, compiler):
+        blocks = [
+            PauliBlock(
+                [PauliString("ZZII"), PauliString("ZZII")], weights=[0.3, 0.3]
+            )
+        ]
+        result = compiler.compile_timed(blocks, linear(4))
+        assert_physical_equivalence(result, blocks)

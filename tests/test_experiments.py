@@ -1,0 +1,109 @@
+"""Smoke tests for every experiment harness (one per table/figure)."""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments import (
+    fig02,
+    fig14,
+    fig15,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig22,
+    fig23,
+    fig24,
+    table1,
+    table2,
+)
+from repro.experiments.common import check_scale, default_scale, workload
+
+
+class TestCommon:
+    def test_scales(self):
+        assert check_scale("smoke") == "smoke"
+        with pytest.raises(ValueError):
+            check_scale("huge")
+        assert default_scale() in ("smoke", "small", "full")
+
+    def test_workload_truncation(self):
+        blocks = workload("LiH", "JW", "smoke")
+        assert len(blocks) == 48
+        full = workload("LiH", "JW", "full")
+        assert len(full) == 92
+
+
+class TestRegistry:
+    def test_all_fourteen_experiments_registered(self):
+        assert len(REGISTRY) == 14
+        for module in REGISTRY.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")
+
+
+class TestRuns:
+    """Each experiment runs at smoke scale and satisfies its key invariant."""
+
+    def test_table1_matches_paper_for_lih(self):
+        rows = {r["bench"]: r for r in table1.run("smoke")}
+        assert rows["LiH"]["pauli"] == 640
+        assert rows["LiH"]["cnot"] == 8064
+        assert rows["LiH"]["oneq"] == 4992
+
+    def test_fig02_max_above_ph(self):
+        for row in fig02.run("smoke"):
+            assert row["max_cancel"] >= row["paulihedral"] - 0.05
+
+    def test_table2_tetris_wins(self):
+        rows = table2.run("smoke", encoders=("JW",))
+        for row in rows:
+            assert row["tetris_cnot"] < row["ph_cnot"]
+
+    def test_fig14_ordering(self):
+        for row in fig14.run("smoke"):
+            assert row["tket_cnot"] > row["tetris_lookahead_cnot"]
+            assert row["ph_cnot"] > row["tetris_lookahead_cnot"]
+
+    def test_fig15_breakdown_consistency(self):
+        for row in fig15.run_swap_breakdown("smoke"):
+            for label in ("pcoast", "ph", "tetris"):
+                assert row[f"{label}_swap_cnot"] <= row[f"{label}_cnot"]
+
+    def test_fig17_middle_ground(self):
+        for row in fig17.run("smoke", encoders=("JW",)):
+            assert row["ph"] <= row["tetris"] + 0.05
+            assert row["tetris"] <= row["max_cancel"] + 0.05
+
+    def test_fig18_swap_fraction(self):
+        for row in fig18.run("smoke", encoders=("JW",), include_synthetic=False):
+            # Paulihedral is the SWAP-lightest, max_cancel the heaviest.
+            assert row["ph_swap_cnot"] <= row["tetris_swap_cnot"]
+            assert row["max_swap_cnot"] >= 0.5 * row["tetris_swap_cnot"]
+
+    def test_fig19_rows(self):
+        rows = fig19.run("smoke")
+        assert {row["K"] for row in rows} == {1, 10}
+
+    def test_fig20_weight_direction(self):
+        rows = fig20.run("smoke")
+        by_weight = {row["w"]: row for row in rows}
+        assert by_weight[10]["ithaca_swaps"] <= by_weight[1]["ithaca_swaps"]
+
+    def test_fig22_fidelity_bounds(self):
+        for row in fig22.run("smoke"):
+            for key in ("ph_fidelity", "tetris_fidelity"):
+                assert 0.0 <= row[key] <= 1.0
+
+    def test_fig23_normalized_below_one(self):
+        for row in fig23.run("smoke"):
+            assert row["tetris/ph_cnot"] < 1.0
+            assert row["2qan/ph_cnot"] < 1.0
+
+    def test_fig24_latencies_positive(self):
+        for row in fig24.run("smoke"):
+            assert row["ph_total_s"] > 0
+            assert row["tetris_total_s"] > 0
+
+    def test_main_renders(self):
+        assert "LiH" in table1.main("smoke")

@@ -1,0 +1,127 @@
+"""Tests for coupling graphs, topologies, and the device catalog."""
+
+import networkx as nx
+import pytest
+
+from repro.hardware import (
+    CouplingGraph,
+    Device,
+    fully_connected,
+    google_sycamore_64,
+    grid,
+    heavy_hex,
+    ibm_ithaca_65,
+    ithaca_device,
+    linear,
+    ring,
+    sycamore,
+    sycamore_device,
+)
+
+
+class TestCouplingGraph:
+    def test_basic_queries(self):
+        graph = linear(4)
+        assert graph.are_connected(0, 1)
+        assert not graph.are_connected(0, 2)
+        assert graph.neighbors(1) == frozenset({0, 2})
+        assert graph.degree(0) == 1
+
+    def test_rejects_self_loops_and_bad_edges(self):
+        with pytest.raises(ValueError):
+            CouplingGraph(2, [(0, 0)])
+        with pytest.raises(ValueError):
+            CouplingGraph(2, [(0, 5)])
+
+    def test_distance_matrix(self):
+        graph = ring(6)
+        assert graph.distance(0, 3) == 3
+        assert graph.distance(0, 5) == 1
+
+    def test_shortest_path(self):
+        graph = linear(5)
+        assert graph.shortest_path(0, 3) == [0, 1, 2, 3]
+        assert graph.shortest_path(2, 2) == [2]
+
+    def test_shortest_path_with_blocked(self):
+        graph = ring(6)
+        path = graph.shortest_path(0, 3, blocked={1, 2})
+        assert path == [0, 5, 4, 3]
+        assert graph.shortest_path(0, 2, blocked={1, 3, 4, 5}) is None
+
+    def test_blocked_endpoints_are_ignored(self):
+        graph = linear(3)
+        assert graph.shortest_path(0, 2, blocked={0, 2}) == [0, 1, 2]
+
+    def test_nearest(self):
+        graph = linear(6)
+        assert graph.nearest(0, [3, 5]) == 3
+        assert graph.nearest(0, []) is None
+
+    def test_subgraph_is_connected(self):
+        graph = linear(6)
+        assert graph.subgraph_is_connected([1, 2, 3])
+        assert not graph.subgraph_is_connected([0, 2])
+        assert graph.subgraph_is_connected([])
+
+    def test_networkx_roundtrip(self):
+        graph = grid(2, 3)
+        nx_graph = graph.to_networkx()
+        back = CouplingGraph.from_networkx(nx_graph)
+        assert back.edges == graph.edges
+
+
+class TestTopologies:
+    def test_ithaca_65(self):
+        graph = ibm_ithaca_65()
+        assert graph.num_qubits == 65
+        assert len(graph.edges) == 72
+        assert graph.is_connected_graph()
+        assert max(graph.degree(q) for q in range(65)) <= 3  # heavy-hex property
+
+    def test_parametric_heavy_hex(self):
+        graph = heavy_hex(3, 9)
+        assert graph.is_connected_graph()
+        assert max(graph.degree(q) for q in range(graph.num_qubits)) <= 3
+
+    def test_heavy_hex_validation(self):
+        with pytest.raises(ValueError):
+            heavy_hex(0)
+
+    def test_sycamore_64(self):
+        graph = google_sycamore_64()
+        assert graph.num_qubits == 64
+        assert graph.is_connected_graph()
+        assert max(graph.degree(q) for q in range(64)) <= 4
+        # denser than heavy-hex
+        assert len(graph.edges) > len(ibm_ithaca_65().edges)
+
+    def test_sycamore_validation(self):
+        with pytest.raises(ValueError):
+            sycamore(1, 8)
+
+    def test_lattices(self):
+        assert len(linear(5).edges) == 4
+        assert len(ring(5).edges) == 5
+        assert len(grid(3, 3).edges) == 12
+        assert len(fully_connected(5).edges) == 10
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_grid_structure(self):
+        graph = grid(2, 2)
+        assert graph.are_connected(0, 1)
+        assert graph.are_connected(0, 2)
+        assert not graph.are_connected(0, 3)
+
+
+class TestDevices:
+    def test_catalog(self):
+        assert ithaca_device().num_qubits == 65
+        assert sycamore_device().num_qubits == 64
+
+    def test_device_defaults(self):
+        device = Device(coupling=linear(3))
+        assert device.two_qubit_error == pytest.approx(1e-3)
+        assert device.one_qubit_error == pytest.approx(1e-4)
+        assert device.name == "linear-3"

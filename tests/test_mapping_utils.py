@@ -1,0 +1,111 @@
+"""Tests for the shared mapping machinery."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler.mapping_utils import (
+    SwapTracker,
+    cluster_qubits,
+    connect_support,
+    find_center,
+    physical_spanning_tree,
+)
+from repro.hardware import grid, linear, ring
+from repro.routing import Layout
+
+
+def make_tracker(coupling, num_logical):
+    layout = Layout.trivial(num_logical, coupling.num_qubits)
+    return SwapTracker(QuantumCircuit(coupling.num_qubits), layout)
+
+
+class TestSwapTracker:
+    def test_swap_updates_both(self):
+        tracker = make_tracker(linear(4), 3)
+        tracker.swap(0, 1)
+        assert tracker.num_swaps == 1
+        assert tracker.layout.physical(0) == 1
+        assert tracker.circuit.count_ops()["swap"] == 1
+
+    def test_move_along(self):
+        tracker = make_tracker(linear(5), 2)
+        tracker.move_along([0, 1, 2, 3])
+        assert tracker.layout.physical(0) == 3
+        assert tracker.num_swaps == 3
+
+
+class TestFindCenter:
+    def test_center_of_line_segment(self):
+        assert find_center(linear(7), [0, 6]) in (2, 3, 4)
+        assert find_center(linear(7), [2, 3, 4]) == 3
+
+    def test_restricted_candidates(self):
+        assert find_center(linear(7), [0, 6], candidates=[0, 6]) == 0
+
+
+class TestClusterQubits:
+    def test_already_connected_is_free(self):
+        coupling = linear(6)
+        tracker = make_tracker(coupling, 3)
+        cluster_qubits(tracker, coupling, [0, 1, 2], center=1)
+        assert tracker.num_swaps == 0
+
+    def test_clusters_distant_qubits(self):
+        coupling = linear(8)
+        tracker = make_tracker(coupling, 8)
+        cluster_qubits(tracker, coupling, [0, 7], center=3)
+        positions = [tracker.layout.physical(q) for q in (0, 7)]
+        assert coupling.are_connected(*positions)
+        assert tracker.num_swaps > 0
+
+    def test_avoid_routes_around(self):
+        coupling = ring(8)
+        tracker = make_tracker(coupling, 8)
+        # Cluster 0 and 4; avoid displacing 1, 2, 3 (one side of the ring).
+        cluster_qubits(tracker, coupling, [0, 4], center=0, avoid=[1, 2, 3])
+        for q in (1, 2, 3):
+            assert tracker.layout.physical(q) == q
+
+    def test_empty_input(self):
+        coupling = linear(3)
+        tracker = make_tracker(coupling, 2)
+        assert cluster_qubits(tracker, coupling, [], center=0) == []
+
+
+class TestConnectSupport:
+    def test_connects_disconnected_support(self):
+        coupling = linear(9)
+        tracker = make_tracker(coupling, 9)
+        connect_support(tracker, coupling, [0, 4, 8])
+        positions = [tracker.layout.physical(q) for q in (0, 4, 8)]
+        assert coupling.subgraph_is_connected(positions)
+
+    def test_connected_support_untouched(self):
+        coupling = grid(3, 3)
+        tracker = make_tracker(coupling, 9)
+        connect_support(tracker, coupling, [0, 1, 2])
+        assert tracker.num_swaps == 0
+
+
+class TestSpanningTree:
+    def test_tree_structure(self):
+        coupling = grid(2, 3)
+        parent = physical_spanning_tree(coupling, [0, 1, 2, 4], root_position=1)
+        assert len(parent) == 3
+        for child, par in parent.items():
+            assert coupling.are_connected(child, par)
+
+    def test_deterministic(self):
+        coupling = grid(3, 3)
+        nodes = [0, 1, 3, 4]
+        a = physical_spanning_tree(coupling, nodes, 0)
+        b = physical_spanning_tree(coupling, nodes, 0)
+        assert a == b
+
+    def test_root_must_be_member(self):
+        with pytest.raises(ValueError):
+            physical_spanning_tree(linear(4), [0, 1], root_position=3)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            physical_spanning_tree(linear(5), [0, 4], root_position=0)

@@ -1,0 +1,176 @@
+"""Tests for the cancellation pass — soundness and specific rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.passes import cancel_gates, optimize_light, optimize_o3
+from repro.pauli import PauliString
+from repro.sim import circuit_unitary, unitaries_equal
+from repro.synthesis import PauliTree, synthesize_from_tree
+
+
+def random_circuit(rng, num_qubits, num_gates):
+    qc = QuantumCircuit(num_qubits)
+    names = ["h", "s", "sdg", "x", "rz", "rx", "cx"]
+    for _ in range(num_gates):
+        name = names[rng.integers(len(names))]
+        if name == "cx":
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            qc.cx(int(a), int(b))
+        elif name in ("rz", "rx"):
+            getattr(qc, name)(float(rng.uniform(-3, 3)), int(rng.integers(num_qubits)))
+        else:
+            getattr(qc, name)(int(rng.integers(num_qubits)))
+    return qc
+
+
+class TestSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_cancellation_preserves_unitary(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(rng, int(rng.integers(2, 5)), int(rng.integers(5, 45)))
+        reduced = cancel_gates(qc)
+        assert unitaries_equal(circuit_unitary(qc), circuit_unitary(reduced))
+        assert len(reduced) <= len(qc)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_full_o3_preserves_unitary(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(rng, int(rng.integers(2, 5)), int(rng.integers(5, 45)))
+        assert unitaries_equal(circuit_unitary(qc), circuit_unitary(optimize_o3(qc)))
+
+
+class TestRules:
+    def test_hh_cancels(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.h(0)
+        assert len(cancel_gates(qc)) == 0
+
+    def test_s_sdg_cancels_either_order(self):
+        for first, second in (("s", "sdg"), ("sdg", "s")):
+            qc = QuantumCircuit(1)
+            getattr(qc, first)(0)
+            getattr(qc, second)(0)
+            assert len(cancel_gates(qc)) == 0
+
+    def test_rz_merge(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0)
+        qc.rz(0.4, 0)
+        reduced = cancel_gates(qc)
+        assert len(reduced) == 1
+        assert reduced.gates[0].params[0] == pytest.approx(0.7)
+
+    def test_rz_exact_cancellation(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0)
+        qc.rz(-0.3, 0)
+        assert len(cancel_gates(qc)) == 0
+
+    def test_rz_two_pi_is_global_phase(self):
+        qc = QuantumCircuit(1)
+        qc.rz(np.pi, 0)
+        qc.rz(np.pi, 0)
+        assert len(cancel_gates(qc)) == 0
+
+    def test_cx_cx_cancels(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(0, 1)
+        assert len(cancel_gates(qc)) == 0
+
+    def test_cx_reversed_does_not_cancel(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        assert len(cancel_gates(qc)) == 2
+
+    def test_cx_cancels_through_rz_on_control(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.rz(0.5, 0)
+        qc.cx(0, 1)
+        assert cancel_gates(qc).count_ops().get("cx", 0) == 0
+
+    def test_cx_cancels_through_x_on_target(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.x(1)
+        qc.cx(0, 1)
+        assert cancel_gates(qc).count_ops().get("cx", 0) == 0
+
+    def test_cx_blocked_by_h(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.h(0)
+        qc.cx(0, 1)
+        assert cancel_gates(qc).count_ops()["cx"] == 2
+
+    def test_cx_cancels_through_shared_control(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(0, 2)
+        qc.cx(0, 1)
+        assert cancel_gates(qc).count_ops()["cx"] == 1
+
+    def test_cx_cancels_through_shared_target(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)
+        qc.cx(1, 2)
+        qc.cx(0, 2)
+        assert cancel_gates(qc).count_ops()["cx"] == 1
+
+    def test_measure_blocks_cancellation(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.measure(0)
+        qc.h(0)
+        assert len(cancel_gates(qc)) == 3
+
+
+class TestFig3:
+    def test_tree_choice_controls_cancellation(self):
+        """Fig. 3: same strings, different trees, 0 vs 4 CNOTs canceled."""
+        p1, p2 = PauliString("YZZZY"), PauliString("XZZZX")
+        ladder = QuantumCircuit(5)
+        for p in (p1, p2):
+            synthesize_from_tree(p, 0.5, PauliTree.chain([0, 1, 2, 3, 4]), ladder)
+        good = QuantumCircuit(5)
+        tree = PauliTree(4, {1: 2, 2: 3, 3: 0, 0: 4})
+        for p in (p1, p2):
+            synthesize_from_tree(p, 0.5, tree, good)
+        assert cancel_gates(ladder).count_ops()["cx"] == 16
+        assert cancel_gates(good).count_ops()["cx"] == 12
+        assert unitaries_equal(circuit_unitary(ladder), circuit_unitary(good))
+
+
+class TestConsolidation:
+    def test_run_merges_to_single_u3(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.rz(0.4, 0)
+        qc.h(0)
+        optimized = optimize_o3(qc)
+        assert len(optimized) == 1
+        assert optimized.gates[0].name == "u3"
+        assert unitaries_equal(circuit_unitary(qc), circuit_unitary(optimized))
+
+    def test_identity_run_dropped(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.x(0)
+        assert len(optimize_o3(qc)) == 0
+
+    def test_light_keeps_basis_gates(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.rz(0.4, 0)
+        qc.h(0)
+        light = optimize_light(qc)
+        assert all(g.name != "u3" for g in light.gates)

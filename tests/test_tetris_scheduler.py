@@ -1,0 +1,104 @@
+"""Tests for lookahead block scheduling and try_block trial placement."""
+
+import pytest
+
+from repro.compiler.base import interaction_pairs
+from repro.compiler.tetris import (
+    LookaheadScheduler,
+    SimilarityScheduler,
+    estimate_root_gather_cost,
+    lookahead_order,
+    lower_blocks,
+)
+from repro.compiler.tetris.synthesis import try_block
+from repro.hardware import ibm_ithaca_65, linear
+from repro.pauli import PauliBlock, PauliString
+from repro.routing import Layout, greedy_interaction_layout
+
+
+def sample_irs():
+    blocks = [
+        PauliBlock([PauliString("ZZZZII")], label="long"),          # active 4
+        PauliBlock([PauliString("XZZIII"), PauliString("YZZIII")]),  # active 3
+        PauliBlock([PauliString("IXZZZY"), PauliString("IYZZZX")]),  # active 5
+        PauliBlock([PauliString("ZIIIII")]),                         # active 1
+    ]
+    return lower_blocks(blocks)
+
+
+class TestLookaheadOrder:
+    def test_starts_with_longest_active_length(self):
+        irs = sample_irs()
+        order = lookahead_order(irs)
+        assert order[0] == 2  # active length 5
+
+    def test_is_a_permutation(self):
+        irs = sample_irs()
+        order = lookahead_order(irs, lookahead=2)
+        assert sorted(order) == list(range(len(irs)))
+
+    def test_empty(self):
+        assert lookahead_order([]) == []
+
+
+class TestSchedulers:
+    def test_lookahead_scheduler_exhausts(self):
+        irs = sample_irs()
+        coupling = linear(8)
+        layout = Layout.trivial(6, 8)
+        scheduler = LookaheadScheduler(irs, lookahead=2)
+        picked = []
+        while scheduler:
+            picked.append(scheduler.pick_next(layout, coupling))
+        assert len(picked) == len(irs)
+        with pytest.raises(IndexError):
+            scheduler.pick_next(layout, coupling)
+
+    def test_similarity_scheduler_chains_similar_blocks(self):
+        irs = sample_irs()
+        coupling = linear(8)
+        layout = Layout.trivial(6, 8)
+        scheduler = SimilarityScheduler(irs)
+        first = scheduler.pick_next(layout, coupling)
+        assert first is irs[2]
+
+    def test_cost_function_is_used(self):
+        irs = sample_irs()
+        coupling = linear(8)
+        layout = Layout.trivial(6, 8)
+        calls = []
+
+        def cost(ir, live_layout):
+            calls.append(ir)
+            return 0
+
+        scheduler = LookaheadScheduler(irs, lookahead=3, cost_of=cost)
+        scheduler.pick_next(layout, coupling)
+        scheduler.pick_next(layout, coupling)
+        assert calls  # candidates were evaluated
+
+
+class TestCostEstimates:
+    def test_gather_cost_zero_when_adjacent(self):
+        irs = lower_blocks([PauliBlock([PauliString("XYIIII"), PauliString("YXIIII")])])
+        layout = Layout.trivial(6, 8)
+        assert estimate_root_gather_cost(irs[0], layout, linear(8)) == 0
+
+    def test_gather_cost_positive_when_spread(self):
+        irs = lower_blocks(
+            [PauliBlock([PauliString("XIIIIY"), PauliString("YIIIIX")])]
+        )
+        layout = Layout.trivial(6, 8)
+        assert estimate_root_gather_cost(irs[0], layout, linear(8)) > 0
+
+    def test_try_block_does_not_mutate_layout(self):
+        from repro.chem import molecule_blocks
+
+        blocks = molecule_blocks("LiH")[:5]
+        irs = lower_blocks(blocks)
+        coupling = ibm_ithaca_65()
+        layout = greedy_interaction_layout(12, coupling, interaction_pairs(blocks))
+        snapshot = layout.as_physical_list()
+        cost = try_block(irs[0], layout, coupling)
+        assert cost >= 0
+        assert layout.as_physical_list() == snapshot
