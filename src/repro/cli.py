@@ -6,73 +6,64 @@ the metrics (optionally dumping OpenQASM)::
     python -m repro.cli --bench LiH --compiler tetris --device ithaca
     python -m repro.cli --bench Rand-16 --compiler tetris-qaoa --qasm out.qasm
     python -m repro.cli --bench UCC-10 --compiler paulihedral --blocks 50
+
+Batch mode submits a whole job matrix to the parallel compilation
+service (cache-first, ``REPRO_JOBS`` workers) and streams results to
+JSONL/CSV::
+
+    python -m repro.cli batch --bench LiH,BeH2 --compiler tetris,paulihedral \
+        --scale smoke --jobs 4 --jsonl results.jsonl --csv results.csv
+    python -m repro.cli batch --matrix jobs.json --jsonl results.jsonl
+
+Discover the vocabulary with ``--list-benchmarks``, ``--list-compilers``,
+and ``--list-devices``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from .analysis import compile_and_measure, format_table
 from .chem import benchmark_blocks, encoder_by_name
 from .circuit import to_qasm
-from .compiler import (
-    MaxCancelCompiler,
-    PaulihedralCompiler,
-    PCoastLikeCompiler,
-    TetrisCompiler,
-    TetrisQAOACompiler,
-    TketLikeCompiler,
-    TwoQANLikeCompiler,
-)
-from .hardware import (
-    fully_connected,
-    google_sycamore_64,
-    ibm_ithaca_65,
-    linear,
-)
 from .qaoa import benchmark_graph, maxcut_blocks
-
-COMPILERS = {
-    "tetris": lambda args: TetrisCompiler(
-        swap_weight=args.swap_weight, lookahead=args.lookahead
-    ),
-    "paulihedral": lambda args: PaulihedralCompiler(),
-    "max-cancel": lambda args: MaxCancelCompiler(),
-    "tket-like": lambda args: TketLikeCompiler(),
-    "pcoast-like": lambda args: PCoastLikeCompiler(),
-    "2qan-like": lambda args: TwoQANLikeCompiler(include_wrappers=False),
-    "tetris-qaoa": lambda args: TetrisQAOACompiler(include_wrappers=False),
-}
-
-
-def resolve_device(name: str, num_logical: int):
-    if name == "ithaca":
-        return ibm_ithaca_65()
-    if name == "sycamore":
-        return google_sycamore_64()
-    if name == "linear":
-        return linear(max(num_logical + 2, num_logical))
-    if name == "full":
-        return fully_connected(num_logical)
-    raise ValueError(f"unknown device {name!r}")
+from .service import (
+    CompileJob,
+    CsvSink,
+    JsonlSink,
+    ResultCache,
+    benchmark_names,
+    cache_enabled,
+    compiler_names,
+    device_names,
+    execute_jobs,
+    is_qaoa_bench,
+    make_compiler,
+    resolve_device,
+    worker_count,
+)
+from .service.cache import CACHE_DIR_ENV
+from .service.jobs import SCALES
 
 
 def resolve_blocks(bench: str, encoder: str):
-    if bench.lower().startswith(("rand", "reg")):
+    if is_qaoa_bench(bench):
         return maxcut_blocks(benchmark_graph(bench))
     return benchmark_blocks(bench, encoder_by_name(encoder))
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro.cli", description="Compile a VQA benchmark."
+        prog="repro.cli",
+        description="Compile a VQA benchmark (see also the 'batch' subcommand).",
     )
-    parser.add_argument("--bench", required=True,
+    parser.add_argument("--bench",
                         help="LiH/BeH2/.../UCC-10/Rand-16/REG3-20")
-    parser.add_argument("--compiler", default="tetris", choices=sorted(COMPILERS))
-    parser.add_argument("--device", default="ithaca",
-                        choices=["ithaca", "sycamore", "linear", "full"])
+    parser.add_argument("--compiler", default="tetris", choices=compiler_names())
+    parser.add_argument("--device", default="ithaca", choices=device_names())
     parser.add_argument("--encoder", default="JW", choices=["JW", "BK"])
     parser.add_argument("--blocks", type=int, default=0,
                         help="truncate to the first N blocks (0 = all)")
@@ -80,16 +71,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lookahead", type=int, default=10)
     parser.add_argument("--opt-level", type=int, default=3, choices=[0, 1, 3])
     parser.add_argument("--qasm", default="", help="write OpenQASM to this path")
+    parser.add_argument("--list-benchmarks", action="store_true",
+                        help="print every known workload name and exit")
+    parser.add_argument("--list-compilers", action="store_true",
+                        help="print every compiler registry name and exit")
+    parser.add_argument("--list-devices", action="store_true",
+                        help="print every device name and exit")
     return parser
 
 
+def _single_compiler_params(args) -> dict:
+    if args.compiler == "tetris":
+        return {"swap_weight": args.swap_weight, "lookahead": args.lookahead}
+    return {}
+
+
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_benchmarks:
+        print("\n".join(benchmark_names()))
+        return 0
+    if args.list_compilers:
+        print("\n".join(compiler_names()))
+        return 0
+    if args.list_devices:
+        print("\n".join(device_names()))
+        return 0
+    if not args.bench:
+        parser.error("--bench is required (or use --list-benchmarks)")
     blocks = resolve_blocks(args.bench, args.encoder)
     if args.blocks > 0:
         blocks = blocks[: args.blocks]
     coupling = resolve_device(args.device, blocks[0].num_qubits)
-    compiler = COMPILERS[args.compiler](args)
+    compiler = make_compiler(args.compiler, _single_compiler_params(args))
     record = compile_and_measure(
         compiler, blocks, coupling, optimization_level=args.opt_level
     )
@@ -104,6 +122,154 @@ def main(argv=None) -> int:
             handle.write(to_qasm(record.result.circuit))
         print(f"wrote {args.qasm}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# batch subcommand
+# ---------------------------------------------------------------------------
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli batch",
+        description="Compile a job matrix through the parallel service.",
+    )
+    parser.add_argument("--matrix", default="",
+                        help="JSON file: a list of job specs, or {\"jobs\": [...]}")
+    parser.add_argument("--bench", default="",
+                        help="comma-separated workload names")
+    parser.add_argument("--compiler", default="tetris",
+                        help="comma-separated compiler names")
+    parser.add_argument("--device", default="ithaca",
+                        help="comma-separated device names")
+    parser.add_argument("--encoder", default="JW",
+                        help="comma-separated encoders (JW,BK)")
+    parser.add_argument("--scale", default="small", choices=SCALES)
+    parser.add_argument("--blocks", type=int, default=0,
+                        help="truncate every workload to the first N blocks")
+    parser.add_argument("--opt-level", type=int, default=3, choices=[0, 1, 3])
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--jsonl", default="", help="write JSONL results here")
+    parser.add_argument("--csv", default="", help="write CSV results here")
+    parser.add_argument("--cache-dir", default="",
+                        help=f"cache root (default: ${CACHE_DIR_ENV} or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the result cache entirely")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="clear the cache before running")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress per-cell progress lines")
+    return parser
+
+
+def load_matrix(path: str) -> list:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        payload = payload.get("jobs", [])
+    if not isinstance(payload, list):
+        raise ValueError("matrix file must be a JSON list or {\"jobs\": [...]}")
+    return [CompileJob.from_dict(spec) for spec in payload]
+
+
+def build_grid(args) -> list:
+    """Cross product of the comma-separated flags, deduped by content."""
+    benches = [b for b in args.bench.split(",") if b]
+    compilers = [c for c in args.compiler.split(",") if c]
+    devices = [d for d in args.device.split(",") if d]
+    encoders = [e for e in args.encoder.split(",") if e]
+    jobs, seen = [], set()
+    for bench in benches:
+        for compiler in compilers:
+            for device in devices:
+                for encoder in encoders:
+                    # QAOA workloads ignore the fermionic encoder; normalize
+                    # so JW/BK don't create duplicate cells.
+                    if is_qaoa_bench(bench):
+                        encoder = "JW"
+                    job = CompileJob(
+                        bench=bench,
+                        compiler=compiler,
+                        encoder=encoder,
+                        device=device,
+                        scale=args.scale,
+                        blocks=args.blocks,
+                        optimization_level=args.opt_level,
+                    )
+                    key = job.content_hash()
+                    if key not in seen:
+                        seen.add(key)
+                        jobs.append(job)
+    return jobs
+
+
+def batch_main(argv=None) -> int:
+    parser = build_batch_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.matrix:
+            jobs = load_matrix(args.matrix)
+        elif args.bench:
+            jobs = build_grid(args)
+        else:
+            parser.error("provide --matrix FILE or --bench NAMES")
+    except (ValueError, OSError) as exc:
+        parser.error(str(exc))
+    if not jobs:
+        parser.error("empty job matrix")
+
+    if args.clear_cache:
+        # Clearing is honored even when this run itself won't use the cache.
+        scratch = ResultCache(args.cache_dir or None)
+        removed = scratch.clear()
+        print(f"cleared {removed} cache entries from {scratch.root}")
+    cache = None
+    if not args.no_cache and cache_enabled():
+        cache = ResultCache(args.cache_dir or None)
+
+    sinks = []
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    if args.csv:
+        sinks.append(CsvSink(args.csv))
+
+    workers = worker_count(args.jobs)
+    total = len(jobs)
+    print(f"batch: {total} jobs, {workers} worker(s), "
+          f"cache={'off' if cache is None else cache.root}")
+    start = time.perf_counter()
+    failures = 0
+    try:
+        for done, result in enumerate(
+            execute_jobs(jobs, max_workers=args.jobs, cache=cache,
+                         use_cache=cache is not None),
+            start=1,
+        ):
+            for sink in sinks:
+                sink.write(result)
+            if result.error is not None:
+                failures += 1
+                print(f"[{done}/{total}] {result.job.label()} "
+                      f"ERROR: {result.error}")
+            elif not args.quiet:
+                tag = " (cached)" if result.cached else ""
+                print(f"[{done}/{total}] {result.job.label()} "
+                      f"cnot={result.metrics.cnot_gates} "
+                      f"depth={result.metrics.depth} "
+                      f"{result.metrics.compile_seconds:.2f}s{tag}")
+    finally:
+        for sink in sinks:
+            sink.close()
+    elapsed = time.perf_counter() - start
+    summary = f"done: {total} jobs in {elapsed:.1f}s"
+    if cache is not None:
+        summary += f" ({cache.stats.summary()})"
+    if failures:
+        summary += f", {failures} FAILED"
+    print(summary)
+    for sink in sinks:
+        print(f"wrote {sink.path} ({sink.count} rows)")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ Set ``REPRO_SCALE`` to override the default for the benchmark suite.
 
 from __future__ import annotations
 
+import csv
 import os
 from typing import Dict, List, Sequence
 
@@ -70,11 +71,17 @@ def experiment_header(name: str, scale: str) -> str:
 
 
 def rows_to_csv(rows: Sequence[Dict], path: str) -> None:
-    """Write dict rows to a CSV file (column order from the first row)."""
+    """Write dict rows to a CSV file (column order from the first row).
+
+    Uses the stdlib ``csv`` module so values containing commas, quotes,
+    or newlines are quoted correctly instead of corrupting the row.
+    """
     if not rows:
         return
     columns = list(rows[0].keys())
-    with open(path, "w") as handle:
-        handle.write(",".join(columns) + "\n")
-        for row in rows:
-            handle.write(",".join(str(row.get(col, "")) for col in columns) + "\n")
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=columns, restval="", extrasaction="ignore"
+        )
+        writer.writeheader()
+        writer.writerows(rows)

@@ -10,37 +10,35 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..analysis import compile_and_measure
-from ..compiler import (
-    PaulihedralCompiler,
-    PCoastLikeCompiler,
-    TetrisCompiler,
-    TketLikeCompiler,
-)
-from ..hardware import ibm_ithaca_65
-from .common import check_scale, workload
+from ..service import CompileJob, run_batch
+from .common import check_scale
 
 FIG14_MOLECULES = ("LiH", "BeH2", "CH4", "MgH2")
+
+#: (column label, compiler registry name, compiler params)
+FIG14_COMPILERS = (
+    ("tket", "tket-like", {}),
+    ("pcoast", "pcoast-like", {}),
+    ("ph", "paulihedral", {}),
+    ("tetris", "tetris", {"lookahead": 0}),
+    ("tetris_lookahead", "tetris", {"lookahead": 10}),
+)
 
 
 def run(scale: str = "small") -> List[Dict]:
     check_scale(scale)
-    coupling = ibm_ithaca_65()
     names = FIG14_MOLECULES if scale != "smoke" else ("LiH",)
-    compilers = [
-        ("tket", TketLikeCompiler()),
-        ("pcoast", PCoastLikeCompiler()),
-        ("ph", PaulihedralCompiler()),
-        ("tetris", TetrisCompiler(lookahead=0)),
-        ("tetris_lookahead", TetrisCompiler(lookahead=10)),
+    jobs = [
+        CompileJob(bench=name, compiler=compiler, params=params, scale=scale)
+        for name in names
+        for _label, compiler, params in FIG14_COMPILERS
     ]
+    results = iter(run_batch(jobs, strict=True))
     rows: List[Dict] = []
     for name in names:
-        blocks = workload(name, "JW", scale)
         row: Dict = {"bench": name}
-        for label, compiler in compilers:
-            record = compile_and_measure(compiler, blocks, coupling)
-            row[f"{label}_cnot"] = record.metrics.cnot_gates
+        for label, _compiler, _params in FIG14_COMPILERS:
+            row[f"{label}_cnot"] = next(results).metrics.cnot_gates
         rows.append(row)
     return rows
 

@@ -10,28 +10,28 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..analysis import compile_and_measure
-from ..compiler import (
-    PaulihedralCompiler,
-    PCoastLikeCompiler,
-    TetrisCompiler,
-    TketLikeCompiler,
-)
-from ..hardware import ibm_ithaca_65
-from .common import check_scale, workload
+from ..service import CompileJob, run_batch
+from .common import check_scale
 from .fig14 import FIG14_MOLECULES
 
 
 def run_tket_styles(scale: str = "small") -> List[Dict]:
     """Fig. 15(a)."""
     check_scale(scale)
-    coupling = ibm_ithaca_65()
     names = FIG14_MOLECULES if scale != "smoke" else ("LiH",)
+    styles = ("tket-o2", "qiskit-o3")
+    jobs = [
+        CompileJob(
+            bench=name, compiler="tket-like", params={"style": style}, scale=scale
+        )
+        for name in names
+        for style in styles
+    ]
+    results = iter(run_batch(jobs, strict=True))
     rows: List[Dict] = []
     for name in names:
-        blocks = workload(name, "JW", scale)
-        o2 = compile_and_measure(TketLikeCompiler(style="tket-o2"), blocks, coupling)
-        o3 = compile_and_measure(TketLikeCompiler(style="qiskit-o3"), blocks, coupling)
+        o2 = next(results)
+        o3 = next(results)
         rows.append(
             {
                 "bench": name,
@@ -45,21 +45,25 @@ def run_tket_styles(scale: str = "small") -> List[Dict]:
 def run_swap_breakdown(scale: str = "small") -> List[Dict]:
     """Fig. 15(b)."""
     check_scale(scale)
-    coupling = ibm_ithaca_65()
     names = FIG14_MOLECULES if scale != "smoke" else ("LiH",)
     compilers = [
-        ("pcoast", PCoastLikeCompiler()),
-        ("ph", PaulihedralCompiler()),
-        ("tetris", TetrisCompiler()),
+        ("pcoast", "pcoast-like"),
+        ("ph", "paulihedral"),
+        ("tetris", "tetris"),
     ]
+    jobs = [
+        CompileJob(bench=name, compiler=compiler, scale=scale)
+        for name in names
+        for _label, compiler in compilers
+    ]
+    results = iter(run_batch(jobs, strict=True))
     rows: List[Dict] = []
     for name in names:
-        blocks = workload(name, "JW", scale)
         row: Dict = {"bench": name}
-        for label, compiler in compilers:
-            record = compile_and_measure(compiler, blocks, coupling)
-            row[f"{label}_cnot"] = record.metrics.cnot_gates
-            row[f"{label}_swap_cnot"] = record.metrics.swap_cnots
+        for label, _compiler in compilers:
+            metrics = next(results).metrics
+            row[f"{label}_cnot"] = metrics.cnot_gates
+            row[f"{label}_swap_cnot"] = metrics.swap_cnots
         rows.append(row)
     return rows
 

@@ -9,28 +9,34 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..analysis import logical_cancel_ratio
-from ..compiler import MaxCancelCompiler, PaulihedralCompiler, TetrisCompiler
-from .common import MOLECULES_BY_SCALE, check_scale, workload
+from ..service import CompileJob, run_batch
+from .common import MOLECULES_BY_SCALE, check_scale
+
+FIG17_COMPILERS = (("ph", "paulihedral"), ("tetris", "tetris"), ("max_cancel", "max-cancel"))
 
 
 def run(scale: str = "small", encoders: Sequence[str] = ("JW", "BK")) -> List[Dict]:
     check_scale(scale)
+    grid = [
+        (name, encoder)
+        for encoder in encoders
+        for name in MOLECULES_BY_SCALE[scale]
+    ]
+    jobs = [
+        CompileJob(
+            bench=name, encoder=encoder, compiler=compiler,
+            device="full", scale=scale,
+        )
+        for name, encoder in grid
+        for _label, compiler in FIG17_COMPILERS
+    ]
+    results = iter(run_batch(jobs, strict=True))
     rows: List[Dict] = []
-    for encoder in encoders:
-        for name in MOLECULES_BY_SCALE[scale]:
-            blocks = workload(name, encoder, scale)
-            rows.append(
-                {
-                    "bench": name,
-                    "encoder": encoder,
-                    "ph": round(logical_cancel_ratio(PaulihedralCompiler(), blocks), 3),
-                    "tetris": round(logical_cancel_ratio(TetrisCompiler(), blocks), 3),
-                    "max_cancel": round(
-                        logical_cancel_ratio(MaxCancelCompiler(), blocks), 3
-                    ),
-                }
-            )
+    for name, encoder in grid:
+        row: Dict = {"bench": name, "encoder": encoder}
+        for label, _compiler in FIG17_COMPILERS:
+            row[label] = round(next(results).metrics.cancel_ratio, 3)
+        rows.append(row)
     return rows
 
 

@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..analysis import compile_and_measure, improvement
-from ..compiler import MaxCancelCompiler, PaulihedralCompiler, TetrisCompiler
-from ..hardware import ibm_ithaca_65
-from .common import MOLECULES_BY_SCALE, SYNTHETIC_BY_SCALE, check_scale, workload
+from ..analysis import improvement
+from ..service import CompileJob, run_batch
+from .common import MOLECULES_BY_SCALE, SYNTHETIC_BY_SCALE, check_scale
 
 
 def run(
@@ -22,36 +21,43 @@ def run(
     include_synthetic: bool = True,
 ) -> List[Dict]:
     check_scale(scale)
-    coupling = ibm_ithaca_65()
-    rows: List[Dict] = []
     groups = [(encoder, MOLECULES_BY_SCALE[scale]) for encoder in encoders]
     if include_synthetic:
         groups.append(("JW", SYNTHETIC_BY_SCALE[scale]))
+    grid = []
     seen = set()
     for encoder, names in groups:
         for name in names:
             if (encoder, name) in seen:
                 continue
             seen.add((encoder, name))
-            blocks = workload(name, encoder, scale)
-            ph = compile_and_measure(PaulihedralCompiler(), blocks, coupling)
-            tetris = compile_and_measure(TetrisCompiler(), blocks, coupling)
-            best = compile_and_measure(MaxCancelCompiler(), blocks, coupling)
-            rows.append(
-                {
-                    "bench": name,
-                    "encoder": encoder,
-                    "ph_cnot": ph.metrics.cnot_gates,
-                    "ph_swap_cnot": ph.metrics.swap_cnots,
-                    "tetris_cnot": tetris.metrics.cnot_gates,
-                    "tetris_swap_cnot": tetris.metrics.swap_cnots,
-                    "max_cnot": best.metrics.cnot_gates,
-                    "max_swap_cnot": best.metrics.swap_cnots,
-                    "tetris_impr_%": round(
-                        improvement(ph.metrics.cnot_gates, tetris.metrics.cnot_gates), 2
-                    ),
-                }
-            )
+            grid.append((name, encoder))
+    jobs = [
+        CompileJob(bench=name, encoder=encoder, compiler=compiler, scale=scale)
+        for name, encoder in grid
+        for compiler in ("paulihedral", "tetris", "max-cancel")
+    ]
+    results = iter(run_batch(jobs, strict=True))
+    rows: List[Dict] = []
+    for name, encoder in grid:
+        ph = next(results).metrics
+        tetris = next(results).metrics
+        best = next(results).metrics
+        rows.append(
+            {
+                "bench": name,
+                "encoder": encoder,
+                "ph_cnot": ph.cnot_gates,
+                "ph_swap_cnot": ph.swap_cnots,
+                "tetris_cnot": tetris.cnot_gates,
+                "tetris_swap_cnot": tetris.swap_cnots,
+                "max_cnot": best.cnot_gates,
+                "max_swap_cnot": best.swap_cnots,
+                "tetris_impr_%": round(
+                    improvement(ph.cnot_gates, tetris.cnot_gates), 2
+                ),
+            }
+        )
     return rows
 
 

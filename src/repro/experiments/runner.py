@@ -3,15 +3,23 @@
 Usage::
 
     python -m repro.experiments.runner --experiment table2 --scale small
-    python -m repro.experiments.runner --all --scale smoke
+    python -m repro.experiments.runner --all --scale smoke --jobs 4
+
+Experiments submit their compilation grids to :mod:`repro.service`, so
+``--jobs`` fans cells across worker processes and the content-addressed
+result cache makes reruns (and cells shared between figures) warm.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from ..service import GLOBAL_STATS, cache_enabled
+from ..service.cache import CACHE_DIR_ENV, CACHE_TOGGLE_ENV
+from ..service.pool import JOBS_ENV
 from . import REGISTRY
 from .common import SCALES, default_scale
 
@@ -29,6 +37,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--scale", choices=SCALES, default=default_scale())
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for compilation grids (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the compilation result cache for this run",
+    )
     return parser
 
 
@@ -37,6 +62,12 @@ def main(argv=None) -> int:
     if not args.all and not args.experiment:
         build_parser().print_help()
         return 2
+    if args.jobs is not None:
+        os.environ[JOBS_ENV] = str(args.jobs)
+    if args.cache_dir:
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+    if args.no_cache:
+        os.environ[CACHE_TOGGLE_ENV] = "off"
     names = sorted(REGISTRY) if args.all else [args.experiment]
     for name in names:
         module = REGISTRY[name]
@@ -44,6 +75,8 @@ def main(argv=None) -> int:
         print(f"== {name} (scale={args.scale}) ==")
         print(module.main(args.scale))
         print(f"-- {name} done in {time.perf_counter() - start:.1f}s\n")
+    if cache_enabled() and GLOBAL_STATS.lookups:
+        print(GLOBAL_STATS.summary())
     return 0
 
 

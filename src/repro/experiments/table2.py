@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis import compile_and_measure, improvement
-from ..compiler import PaulihedralCompiler, TetrisCompiler
-from ..hardware import ibm_ithaca_65
-from .common import MOLECULES_BY_SCALE, SYNTHETIC_BY_SCALE, check_scale, workload
+from ..analysis import improvement
+from ..service import CompileJob, run_batch
+from .common import MOLECULES_BY_SCALE, SYNTHETIC_BY_SCALE, check_scale
 
 #: Paper Table II improvements (%) for the CNOT column, for reference.
 PAPER_CNOT_IMPROVEMENT = {
@@ -44,8 +43,7 @@ def run(
     benches: Optional[Sequence[str]] = None,
 ) -> List[Dict]:
     check_scale(scale)
-    coupling = ibm_ithaca_65()
-    rows: List[Dict] = []
+    grid: List[tuple] = []
     for encoder in encoders:
         if benches is None:
             names = list(MOLECULES_BY_SCALE[scale])
@@ -53,11 +51,18 @@ def run(
                 names += SYNTHETIC_BY_SCALE[scale]
         else:
             names = list(benches)
-        for name in names:
-            blocks = workload(name, encoder, scale)
-            ph = compile_and_measure(PaulihedralCompiler(), blocks, coupling)
-            tetris = compile_and_measure(TetrisCompiler(), blocks, coupling)
-            rows.append(
+        grid.extend((name, encoder) for name in names)
+    jobs = [
+        CompileJob(bench=name, encoder=encoder, compiler=compiler, scale=scale)
+        for name, encoder in grid
+        for compiler in ("paulihedral", "tetris")
+    ]
+    results = iter(run_batch(jobs, strict=True))
+    rows: List[Dict] = []
+    for name, encoder in grid:
+        ph = next(results)
+        tetris = next(results)
+        rows.append(
                 {
                     "bench": name,
                     "encoder": encoder,

@@ -1,0 +1,72 @@
+"""Batch-compilation service: jobs, cache, worker pool, result sinks.
+
+The paper's artifact is a compiler x workload x device sweep.  This
+package turns each cell of that sweep into a declarative, content-hashed
+:class:`CompileJob`, executes batches across ``REPRO_JOBS`` worker
+processes with a content-addressed result cache underneath, and streams
+:class:`JobResult` records to JSONL/CSV sinks.
+
+Typical use::
+
+    from repro.service import CompileJob, run_batch
+
+    jobs = [
+        CompileJob(bench="LiH", compiler=c, scale="smoke")
+        for c in ("paulihedral", "tetris")
+    ]
+    for result in run_batch(jobs):
+        print(result.job.label(), result.metrics.cnot_gates)
+
+Environment knobs: ``REPRO_JOBS`` (workers, default 1), ``REPRO_CACHE_DIR``
+(cache root, default ``~/.cache/repro``), ``REPRO_CACHE=off`` (disable).
+"""
+
+from .cache import (
+    GLOBAL_STATS,
+    CacheStats,
+    ResultCache,
+    cache_enabled,
+    default_cache,
+    default_cache_dir,
+)
+from .jobs import (
+    SPEC_VERSION,
+    CompileJob,
+    JobResult,
+    benchmark_names,
+    compiler_names,
+    device_names,
+    is_qaoa_bench,
+    job_blocks,
+    make_compiler,
+    resolve_device,
+    run_job,
+)
+from .pool import execute_jobs, run_batch, worker_count
+from .sink import CsvSink, JsonlSink, write_results
+
+__all__ = [
+    "SPEC_VERSION",
+    "CompileJob",
+    "JobResult",
+    "run_job",
+    "job_blocks",
+    "make_compiler",
+    "resolve_device",
+    "benchmark_names",
+    "compiler_names",
+    "device_names",
+    "is_qaoa_bench",
+    "ResultCache",
+    "CacheStats",
+    "GLOBAL_STATS",
+    "cache_enabled",
+    "default_cache",
+    "default_cache_dir",
+    "execute_jobs",
+    "run_batch",
+    "worker_count",
+    "JsonlSink",
+    "CsvSink",
+    "write_results",
+]

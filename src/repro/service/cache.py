@@ -1,0 +1,169 @@
+"""Content-addressed on-disk result cache.
+
+Results are stored as one JSON file per job under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), sharded by the first
+two hex digits of the job hash::
+
+    <root>/ab/abcdef....json
+
+The key is the :meth:`CompileJob.content_hash`, which covers every *input*
+that can change the compiled circuit — but not the compiler source itself.
+Bump ``repro.service.jobs.SPEC_VERSION`` when compiler behavior changes
+(old entries become misses), or ``clear()`` the cache after local compiler
+edits.  Set ``REPRO_CACHE=off`` to disable caching globally.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .jobs import CompileJob, JobResult
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_TOGGLE_ENV = "REPRO_CACHE"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    def summary(self) -> str:
+        return f"cache: {self.hits} hits, {self.misses} misses, {self.puts} puts"
+
+
+#: Process-wide tally across every ResultCache instance (runner summaries).
+GLOBAL_STATS = CacheStats()
+
+
+def cache_enabled() -> bool:
+    return os.environ.get(CACHE_TOGGLE_ENV, "on").lower() not in ("off", "0", "no")
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV) or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro"
+    )
+
+
+def default_cache() -> Optional["ResultCache"]:
+    """The environment-configured cache, or None when disabled."""
+    if not cache_enabled():
+        return None
+    return ResultCache()
+
+
+class ResultCache:
+    """A directory of ``JobResult`` JSON files keyed by job content hash."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_cache_dir()
+        self.stats = CacheStats()
+
+    def _path(self, job_hash: str) -> str:
+        return os.path.join(self.root, job_hash[:2], job_hash + ".json")
+
+    def __contains__(self, job: CompileJob) -> bool:
+        return os.path.exists(self._path(job.content_hash()))
+
+    def get(self, job: CompileJob) -> Optional[JobResult]:
+        """Cached result for ``job``, or None (counts a hit or a miss)."""
+        path = self._path(job.content_hash())
+        try:
+            with open(path) as handle:
+                result = JobResult.from_json(handle.read())
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupt or stale-schema entry: drop it and treat as a miss.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self._miss()
+            return None
+        result.cached = True
+        self.stats.hits += 1
+        GLOBAL_STATS.hits += 1
+        return result
+
+    def put(self, result: JobResult) -> bool:
+        """Store a successful result atomically; errored results are skipped."""
+        if not result.ok:
+            return False
+        path = self._path(result.job.content_hash())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(result.to_json())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return False
+        self.stats.puts += 1
+        GLOBAL_STATS.puts += 1
+        return True
+
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        GLOBAL_STATS.misses += 1
+
+    def _entries(self) -> List[str]:
+        found: List[str] = []
+        if not os.path.isdir(self.root):
+            return found
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith(".tmp-"):
+                    found.append(os.path.join(shard_dir, name))
+        return found
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def clear(self) -> int:
+        """Remove every cached entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def trim(self, max_entries: int) -> int:
+        """Evict oldest entries (by mtime) down to ``max_entries``."""
+        entries = self._entries()
+        if len(entries) <= max_entries:
+            return 0
+        entries.sort(key=lambda path: os.path.getmtime(path))
+        removed = 0
+        for path in entries[: len(entries) - max_entries]:
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,289 @@
+"""Compile-job specs and the single-job executor.
+
+A :class:`CompileJob` is a frozen, fully-declarative description of one
+compilation cell — (workload, encoder, compiler + params, device, scale) —
+with a deterministic content hash.  Because the hash covers every input
+that can change the output circuit, it doubles as the cache key for
+:mod:`repro.service.cache` and as the dedup key for batch submissions.
+
+:class:`JobResult` carries the measured :class:`~repro.circuit.metrics.
+CircuitMetrics` and serializes to/from JSON, so results can cross process
+boundaries (the worker pool) and sessions (the on-disk cache) unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..circuit.metrics import CircuitMetrics
+from ..compiler import (
+    MaxCancelCompiler,
+    PaulihedralCompiler,
+    PCoastLikeCompiler,
+    TetrisCompiler,
+    TetrisQAOACompiler,
+    TketLikeCompiler,
+    TwoQANLikeCompiler,
+)
+from ..hardware import (
+    fully_connected,
+    google_sycamore_64,
+    ibm_ithaca_65,
+    linear,
+)
+
+#: Bump when the spec or result schema changes — old cache entries become
+#: misses instead of deserialization errors.
+SPEC_VERSION = 1
+
+#: Compiler registry: name -> factory taking keyword params.
+COMPILER_FACTORIES = {
+    "tetris": TetrisCompiler,
+    "paulihedral": PaulihedralCompiler,
+    "max-cancel": MaxCancelCompiler,
+    "tket-like": TketLikeCompiler,
+    "pcoast-like": PCoastLikeCompiler,
+    "2qan-like": lambda **params: TwoQANLikeCompiler(
+        include_wrappers=False, **params
+    ),
+    "tetris-qaoa": lambda **params: TetrisQAOACompiler(
+        include_wrappers=False, **params
+    ),
+}
+
+DEVICES = ("ithaca", "sycamore", "linear", "full")
+
+SCALES = ("smoke", "small", "full")
+
+#: The metric columns of a flattened result row (see JobResult.row).
+METRIC_COLUMNS = tuple(
+    CircuitMetrics(
+        num_qubits=0, total_gates=0, cnot_gates=0, one_qubit_gates=0, depth=0
+    ).as_row()
+)
+
+
+def compiler_names() -> List[str]:
+    return sorted(COMPILER_FACTORIES)
+
+
+def device_names() -> List[str]:
+    return list(DEVICES)
+
+
+def benchmark_names() -> List[str]:
+    """Every workload name a job may reference (chemistry, UCC, QAOA)."""
+    from ..chem import all_benchmark_names
+    from ..qaoa.graphs import QAOA_BENCHMARKS
+
+    return all_benchmark_names() + list(QAOA_BENCHMARKS)
+
+
+def is_qaoa_bench(name: str) -> bool:
+    return name.lower().startswith(("rand", "reg"))
+
+
+def make_compiler(name: str, params: Mapping[str, Any]):
+    try:
+        factory = COMPILER_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown compiler {name!r}; available: {compiler_names()}"
+        ) from None
+    return factory(**dict(params))
+
+
+def resolve_device(name: str, num_logical: int):
+    """Resolve a device name to a coupling graph sized for the workload."""
+    if name == "ithaca":
+        return ibm_ithaca_65()
+    if name == "sycamore":
+        return google_sycamore_64()
+    if name == "linear":
+        return linear(num_logical + 2)
+    if name == "full":
+        return fully_connected(num_logical)
+    raise ValueError(f"unknown device {name!r}; available: {device_names()}")
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One cell of a compilation sweep, hashable by content.
+
+    ``params`` accepts a mapping at construction and is normalized to a
+    sorted tuple of pairs so two jobs built from differently-ordered dicts
+    hash identically.
+    """
+
+    bench: str
+    compiler: str = "tetris"
+    encoder: str = "JW"
+    device: str = "ithaca"
+    scale: str = "small"
+    blocks: int = 0
+    optimization_level: int = 3
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        if isinstance(self.params, Mapping):
+            pairs = self.params.items()
+        else:
+            pairs = self.params
+        object.__setattr__(
+            self, "params", tuple(sorted((str(k), v) for k, v in pairs))
+        )
+        if self.compiler not in COMPILER_FACTORIES:
+            raise ValueError(
+                f"unknown compiler {self.compiler!r}; available: {compiler_names()}"
+            )
+        if self.device not in DEVICES:
+            raise ValueError(
+                f"unknown device {self.device!r}; available: {device_names()}"
+            )
+        if self.scale not in SCALES:
+            raise ValueError(f"scale must be one of {SCALES}, got {self.scale!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench": self.bench,
+            "compiler": self.compiler,
+            "encoder": self.encoder,
+            "device": self.device,
+            "scale": self.scale,
+            "blocks": self.blocks,
+            "optimization_level": self.optimization_level,
+            "params": {key: value for key, value in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "CompileJob":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 (py3.8 compat)
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown job fields: {sorted(unknown)}")
+        return cls(**dict(spec))
+
+    def content_hash(self) -> str:
+        """Deterministic sha256 over the canonical JSON spec."""
+        payload = json.dumps(
+            {"v": SPEC_VERSION, **self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable cell id for progress lines."""
+        tag = f"{self.bench}/{self.encoder}/{self.compiler}@{self.device}"
+        if self.params:
+            tag += "(" + ",".join(f"{k}={v}" for k, v in self.params) + ")"
+        return tag
+
+
+@dataclass
+class JobResult:
+    """The measured outcome of one :class:`CompileJob`.
+
+    ``cached`` is runtime bookkeeping only — it is deliberately excluded
+    from serialization so a warm rerun emits byte-identical JSONL.
+    """
+
+    job: CompileJob
+    metrics: Optional[CircuitMetrics] = None
+    optimize_seconds: float = 0.0
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def row(self) -> Dict[str, Any]:
+        """Flatten to one table/CSV row: job spec columns then metrics.
+
+        Metric columns are always present (empty when the job errored) so
+        a CSV header built from an errored first row still carries them.
+        """
+        row: Dict[str, Any] = {
+            "bench": self.job.bench,
+            "encoder": self.job.encoder,
+            "compiler": self.job.compiler,
+            "device": self.job.device,
+            "scale": self.job.scale,
+        }
+        if self.metrics is not None:
+            row.update(self.metrics.as_row())
+        else:
+            row.update({column: "" for column in METRIC_COLUMNS})
+        row["error"] = self.error or ""
+        return row
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SPEC_VERSION,
+            "job_hash": self.job.content_hash(),
+            "job": self.job.to_dict(),
+            "metrics": None if self.metrics is None else asdict(self.metrics),
+            "optimize_seconds": self.optimize_seconds,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobResult":
+        metrics = payload.get("metrics")
+        return cls(
+            job=CompileJob.from_dict(payload["job"]),
+            metrics=None if metrics is None else CircuitMetrics(**metrics),
+            optimize_seconds=payload.get("optimize_seconds", 0.0),
+            error=payload.get("error"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobResult":
+        return cls.from_dict(json.loads(text))
+
+
+@lru_cache(maxsize=64)
+def _resolved_blocks(bench: str, encoder: str, scale: str) -> Tuple:
+    """Per-process workload memo: blocks are expensive to build (molecular
+    Hamiltonians) and shared read-only by every compiler in a batch."""
+    if is_qaoa_bench(bench):
+        from ..qaoa import benchmark_graph, maxcut_blocks
+
+        return tuple(maxcut_blocks(benchmark_graph(bench)))
+    # Lazy: repro.experiments imports repro.service at module level.
+    from ..experiments.common import workload
+
+    return tuple(workload(bench, encoder, scale))
+
+
+def job_blocks(job: CompileJob):
+    """Resolve the job's workload to Pauli blocks (scale-truncated)."""
+    blocks = list(_resolved_blocks(job.bench, job.encoder, job.scale))
+    if job.blocks > 0:
+        blocks = blocks[: job.blocks]
+    return blocks
+
+
+def run_job(job: CompileJob) -> JobResult:
+    """Execute one job in-process: resolve, compile, measure."""
+    from ..analysis import compile_and_measure
+
+    blocks = job_blocks(job)
+    coupling = resolve_device(job.device, blocks[0].num_qubits)
+    compiler = make_compiler(job.compiler, dict(job.params))
+    record = compile_and_measure(
+        compiler, blocks, coupling, optimization_level=job.optimization_level
+    )
+    return JobResult(
+        job=job,
+        metrics=record.metrics,
+        optimize_seconds=record.optimize_seconds,
+    )

@@ -1,0 +1,164 @@
+"""Parallel batch execution: fan jobs across workers, cache-first.
+
+:func:`execute_jobs` is the heart of the service.  It consults the result
+cache for every job, fans the misses across ``REPRO_JOBS`` worker
+processes, and streams completed :class:`~repro.service.jobs.JobResult`
+objects back **in submission order** — so consumers can zip results
+against their job list without bookkeeping.  With one worker (the
+default) everything runs in-process: no fork, no pickling, identical
+results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from .cache import ResultCache, default_cache
+from .jobs import CompileJob, JobResult, run_job
+
+JOBS_ENV = "REPRO_JOBS"
+
+#: progress callback: (completed_count, total, result)
+ProgressFn = Callable[[int, int, JobResult], None]
+
+
+def worker_count(requested: Optional[int] = None) -> int:
+    """Requested workers, else ``REPRO_JOBS``, else 1 (in-process)."""
+    if requested is None:
+        try:
+            requested = int(os.environ.get(JOBS_ENV, "1"))
+        except ValueError:
+            raise ValueError(f"{JOBS_ENV} must be an integer") from None
+    return max(1, requested)
+
+
+def execute_job_safe(job: CompileJob) -> JobResult:
+    """Run one job, capturing any exception as an errored result."""
+    try:
+        return run_job(job)
+    except Exception as exc:  # noqa: BLE001 — one bad cell must not kill the batch
+        return JobResult(job=job, error=f"{type(exc).__name__}: {exc}")
+
+
+def _execute_payload(spec: dict) -> dict:
+    """Worker entry point — dict in, dict out, so pickling stays trivial."""
+    return execute_job_safe(CompileJob.from_dict(spec)).to_dict()
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def _fresh_results(
+    pending: List[Tuple[int, CompileJob]], workers: int
+) -> Iterator[JobResult]:
+    """Execute cache misses, yielding in ``pending`` order.
+
+    Dispatch is grouped by workload so jobs sharing a (bench, encoder,
+    scale) land on the same worker and hit its per-process block memo;
+    results are buffered back into submission order.
+    """
+    if workers <= 1 or len(pending) <= 1:
+        for _index, job in pending:
+            yield execute_job_safe(job)
+        return
+    order = sorted(
+        range(len(pending)),
+        key=lambda slot: (
+            pending[slot][1].bench,
+            pending[slot][1].encoder,
+            pending[slot][1].scale,
+        ),
+    )
+    payloads = [pending[slot][1].to_dict() for slot in order]
+    processes = min(workers, len(pending))
+    chunksize = max(1, len(payloads) // (processes * 2))
+    buffered = {}
+    emit = 0
+    ctx = _mp_context()
+    with ctx.Pool(processes=processes) as pool:
+        results = pool.imap(_execute_payload, payloads, chunksize=chunksize)
+        for dispatch_slot, result_dict in enumerate(results):
+            buffered[order[dispatch_slot]] = JobResult.from_dict(result_dict)
+            while emit in buffered:
+                yield buffered.pop(emit)
+                emit += 1
+    while emit in buffered:
+        yield buffered.pop(emit)
+        emit += 1
+
+
+def execute_jobs(
+    jobs: Iterable[CompileJob],
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressFn] = None,
+    strict: bool = False,
+) -> Iterator[JobResult]:
+    """Run a batch of jobs, yielding results in submission order.
+
+    Cache hits resolve immediately; misses are fanned across
+    ``max_workers`` processes (``REPRO_JOBS`` when None) and written back
+    to the cache as they complete.  ``use_cache=False`` forces fresh
+    execution regardless of environment configuration.  ``strict=True``
+    raises on the first errored result instead of yielding it — for
+    callers (the experiment harnesses) that dereference ``.metrics``.
+    """
+    job_list = list(jobs)
+    if cache is None and use_cache:
+        cache = default_cache()
+    elif not use_cache:
+        cache = None
+
+    results: List[Optional[JobResult]] = [None] * len(job_list)
+    pending: List[Tuple[int, CompileJob]] = []
+    for index, job in enumerate(job_list):
+        hit = cache.get(job) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append((index, job))
+
+    fresh = _fresh_results(pending, worker_count(max_workers))
+    completed = 0
+    for index in range(len(job_list)):
+        result = results[index]
+        if result is None:
+            result = next(fresh)
+            if cache is not None:
+                cache.put(result)
+        if strict and result.error is not None:
+            raise RuntimeError(
+                f"compile job {result.job.label()} failed: {result.error}"
+            )
+        completed += 1
+        if progress is not None:
+            progress(completed, len(job_list), result)
+        yield result
+
+
+def run_batch(
+    jobs: Iterable[CompileJob],
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressFn] = None,
+    strict: bool = False,
+) -> List[JobResult]:
+    """Eager form of :func:`execute_jobs` — the list of all results."""
+    return list(
+        execute_jobs(
+            jobs,
+            max_workers=max_workers,
+            cache=cache,
+            use_cache=use_cache,
+            progress=progress,
+            strict=strict,
+        )
+    )

@@ -1,0 +1,106 @@
+"""Result sinks: JSONL and CSV writers with a progress hook.
+
+Both sinks are context managers with a uniform ``write(result)`` method.
+The JSONL sink emits one canonical (sorted-key, compact) JSON object per
+line — deliberately deterministic, so a fully-cached rerun of the same
+job matrix produces a byte-identical file.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, List, Optional
+
+from .jobs import JobResult
+from .pool import ProgressFn
+
+
+class JsonlSink:
+    """One canonical JSON object per line."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "w")
+        self.count = 0
+
+    def write(self, result: JobResult) -> None:
+        self._handle.write(result.to_json() + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CsvSink:
+    """Flat rows via the stdlib ``csv`` module (proper quoting/escaping).
+
+    Columns come from the first written result; later rows with missing
+    columns get empty cells and unexpected extras are ignored.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "w", newline="")
+        self._writer: Optional[csv.DictWriter] = None
+        self.count = 0
+
+    def write(self, result: JobResult) -> None:
+        row = result.row()
+        if self._writer is None:
+            self._writer = csv.DictWriter(
+                self._handle,
+                fieldnames=list(row.keys()),
+                restval="",
+                extrasaction="ignore",
+            )
+            self._writer.writeheader()
+        self._writer.writerow(row)
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CsvSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_results(
+    results: Iterable[JobResult],
+    jsonl_path: Optional[str] = None,
+    csv_path: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
+    total: Optional[int] = None,
+) -> List[JobResult]:
+    """Drain ``results`` through the configured sinks; returns them all.
+
+    ``progress`` receives ``(completed, total, result)`` per result —
+    pass ``total`` when ``results`` is a generator of known length.
+    """
+    collected: List[JobResult] = []
+    sinks = []
+    if jsonl_path:
+        sinks.append(JsonlSink(jsonl_path))
+    if csv_path:
+        sinks.append(CsvSink(csv_path))
+    try:
+        for result in results:
+            collected.append(result)
+            for sink in sinks:
+                sink.write(result)
+            if progress is not None:
+                progress(len(collected), total or 0, result)
+    finally:
+        for sink in sinks:
+            sink.close()
+    return collected
