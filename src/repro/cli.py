@@ -1,11 +1,13 @@
 """Command-line compilation tool.
 
 Compile any built-in benchmark with any compiler onto any device and print
-the metrics (optionally dumping OpenQASM)::
+the metrics (optionally dumping OpenQASM).  Workloads and devices are
+registry spec strings — legacy names still work::
 
     python -m repro.cli --bench LiH --compiler tetris --device ithaca
-    python -m repro.cli --bench Rand-16 --compiler tetris-qaoa --qasm out.qasm
-    python -m repro.cli --bench UCC-10 --compiler paulihedral --blocks 50
+    python -m repro.cli --bench chem:LiH --device grid:8x8
+    python -m repro.cli --bench qaoa:Rand-16 --compiler tetris-qaoa --qasm out.qasm
+    python -m repro.cli --bench ucc:UCC-10 --compiler paulihedral --blocks 50
 
 Batch mode submits a whole job matrix to the parallel compilation
 service (cache-first, ``REPRO_JOBS`` workers) and streams results to
@@ -13,10 +15,12 @@ JSONL/CSV::
 
     python -m repro.cli batch --bench LiH,BeH2 --compiler tetris,paulihedral \
         --scale smoke --jobs 4 --jsonl results.jsonl --csv results.csv
+    python -m repro.cli batch --bench chem:LiH --device grid:4x4,linear:16 \
+        --scale smoke --jsonl results.jsonl
     python -m repro.cli batch --matrix jobs.json --jsonl results.jsonl
 
-Discover the vocabulary with ``--list-benchmarks``, ``--list-compilers``,
-and ``--list-devices``.
+Discover the vocabulary (families, aliases, and the parameter grammar)
+with ``--list-benchmarks``, ``--list-compilers``, and ``--list-devices``.
 """
 
 from __future__ import annotations
@@ -27,32 +31,30 @@ import sys
 import time
 
 from .analysis import compile_and_measure, format_table
-from .chem import benchmark_blocks, encoder_by_name
 from .circuit import to_qasm
-from .qaoa import benchmark_graph, maxcut_blocks
+from .hardware.families import DEVICE_FAMILIES, canonical_device_spec
+from .registry import RegistryError
 from .service import (
+    COMPILERS,
     CompileJob,
     CsvSink,
     JsonlSink,
     ResultCache,
-    benchmark_names,
     cache_enabled,
-    compiler_names,
-    device_names,
     execute_jobs,
-    is_qaoa_bench,
+    grid_jobs,
     make_compiler,
     resolve_device,
     worker_count,
 )
 from .service.cache import CACHE_DIR_ENV
 from .service.jobs import SCALES
+from .workloads import workload_blocks, workload_specs
 
 
 def resolve_blocks(bench: str, encoder: str):
-    if is_qaoa_bench(bench):
-        return maxcut_blocks(benchmark_graph(bench))
-    return benchmark_blocks(bench, encoder_by_name(encoder))
+    """Full (untruncated) blocks for any workload spec string."""
+    return workload_blocks(bench, encoder, scale="full")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,9 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Compile a VQA benchmark (see also the 'batch' subcommand).",
     )
     parser.add_argument("--bench",
-                        help="LiH/BeH2/.../UCC-10/Rand-16/REG3-20")
-    parser.add_argument("--compiler", default="tetris", choices=compiler_names())
-    parser.add_argument("--device", default="ithaca", choices=device_names())
+                        help="workload spec: LiH, chem:LiH, ucc:UCC-10, "
+                             "qaoa:Rand-16, ... (see --list-benchmarks)")
+    parser.add_argument("--compiler", default="tetris",
+                        help="compiler name or alias (see --list-compilers)")
+    parser.add_argument("--device", default="ithaca",
+                        help="device spec: ithaca, grid:8x8, heavy-hex:5, "
+                             "linear:72, ring:32, ... (see --list-devices)")
     parser.add_argument("--encoder", default="JW", choices=["JW", "BK"])
     parser.add_argument("--blocks", type=int, default=0,
                         help="truncate to the first N blocks (0 = all)")
@@ -72,16 +78,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--opt-level", type=int, default=3, choices=[0, 1, 3])
     parser.add_argument("--qasm", default="", help="write OpenQASM to this path")
     parser.add_argument("--list-benchmarks", action="store_true",
-                        help="print every known workload name and exit")
+                        help="print every workload provider + instance and exit")
     parser.add_argument("--list-compilers", action="store_true",
-                        help="print every compiler registry name and exit")
+                        help="print every compiler registry entry and exit")
     parser.add_argument("--list-devices", action="store_true",
-                        help="print every device name and exit")
+                        help="print every device family + grammar and exit")
     return parser
 
 
+def print_benchmarks() -> None:
+    for provider, grammar, instances in workload_specs():
+        print(f"{provider}: {grammar}")
+        for name in instances:
+            print(f"  {provider}:{name}")
+
+
+def print_compilers() -> None:
+    for entry in COMPILERS.entries():
+        aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"{entry.name}{aliases}  -- {entry.description}")
+
+
+def print_devices() -> None:
+    print("device families (spec: <family>[:<params>]):")
+    for entry in DEVICE_FAMILIES.entries():
+        aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"  {entry.grammar}{aliases}")
+        print(f"      {entry.description}")
+
+
 def _single_compiler_params(args) -> dict:
-    if args.compiler == "tetris":
+    if COMPILERS.canonical(args.compiler) == "tetris":
         return {"swap_weight": args.swap_weight, "lookahead": args.lookahead}
     return {}
 
@@ -93,20 +120,25 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_benchmarks:
-        print("\n".join(benchmark_names()))
+        print_benchmarks()
         return 0
     if args.list_compilers:
-        print("\n".join(compiler_names()))
+        print_compilers()
         return 0
     if args.list_devices:
-        print("\n".join(device_names()))
+        print_devices()
         return 0
     if not args.bench:
         parser.error("--bench is required (or use --list-benchmarks)")
-    blocks = resolve_blocks(args.bench, args.encoder)
-    if args.blocks > 0:
-        blocks = blocks[: args.blocks]
-    coupling = resolve_device(args.device, blocks[0].num_qubits)
+    try:
+        canonical_device_spec(args.device)
+        COMPILERS.canonical(args.compiler)
+        blocks = resolve_blocks(args.bench, args.encoder)
+        if args.blocks > 0:
+            blocks = blocks[: args.blocks]
+        coupling = resolve_device(args.device, blocks[0].num_qubits)
+    except (RegistryError, KeyError) as exc:
+        parser.error(str(exc))
     compiler = make_compiler(args.compiler, _single_compiler_params(args))
     record = compile_and_measure(
         compiler, blocks, coupling, optimization_level=args.opt_level
@@ -136,11 +168,11 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument("--matrix", default="",
                         help="JSON file: a list of job specs, or {\"jobs\": [...]}")
     parser.add_argument("--bench", default="",
-                        help="comma-separated workload names")
+                        help="comma-separated workload specs (LiH, chem:LiH, ...)")
     parser.add_argument("--compiler", default="tetris",
                         help="comma-separated compiler names")
     parser.add_argument("--device", default="ithaca",
-                        help="comma-separated device names")
+                        help="comma-separated device specs (ithaca, grid:4x4, ...)")
     parser.add_argument("--encoder", default="JW",
                         help="comma-separated encoders (JW,BK)")
     parser.add_argument("--scale", default="small", choices=SCALES)
@@ -174,33 +206,15 @@ def load_matrix(path: str) -> list:
 
 def build_grid(args) -> list:
     """Cross product of the comma-separated flags, deduped by content."""
-    benches = [b for b in args.bench.split(",") if b]
-    compilers = [c for c in args.compiler.split(",") if c]
-    devices = [d for d in args.device.split(",") if d]
-    encoders = [e for e in args.encoder.split(",") if e]
-    jobs, seen = [], set()
-    for bench in benches:
-        for compiler in compilers:
-            for device in devices:
-                for encoder in encoders:
-                    # QAOA workloads ignore the fermionic encoder; normalize
-                    # so JW/BK don't create duplicate cells.
-                    if is_qaoa_bench(bench):
-                        encoder = "JW"
-                    job = CompileJob(
-                        bench=bench,
-                        compiler=compiler,
-                        encoder=encoder,
-                        device=device,
-                        scale=args.scale,
-                        blocks=args.blocks,
-                        optimization_level=args.opt_level,
-                    )
-                    key = job.content_hash()
-                    if key not in seen:
-                        seen.add(key)
-                        jobs.append(job)
-    return jobs
+    return grid_jobs(
+        [b for b in args.bench.split(",") if b],
+        compilers=[c for c in args.compiler.split(",") if c],
+        devices=[d for d in args.device.split(",") if d],
+        encoders=[e for e in args.encoder.split(",") if e],
+        scale=args.scale,
+        blocks=args.blocks,
+        optimization_level=args.opt_level,
+    )
 
 
 def batch_main(argv=None) -> int:

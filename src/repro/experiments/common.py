@@ -17,13 +17,13 @@ import csv
 import os
 from typing import Dict, List, Sequence
 
-from ..chem import benchmark_blocks, encoder_by_name
 from ..pauli.block import PauliBlock
-
-SCALES = ("smoke", "small", "full")
-
-#: Block-count caps per scale (None = no cap).
-_BLOCK_CAPS = {"smoke": 48, "small": 120, "full": None}
+from ..workloads import (  # noqa: F401  (BLOCK_CAPS/check_scale re-exported)
+    BLOCK_CAPS,
+    SCALES,
+    check_scale,
+    workload_blocks,
+)
 
 #: Molecules exercised per scale.
 MOLECULES_BY_SCALE = {
@@ -46,24 +46,16 @@ def default_scale() -> str:
     return scale
 
 
-def check_scale(scale: str) -> str:
-    if scale not in SCALES:
-        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
-    return scale
-
-
 def workload(name: str, encoder: str = "JW", scale: str = "small") -> List[PauliBlock]:
-    """Benchmark blocks for ``name``, truncated according to ``scale``.
+    """Benchmark blocks for any workload spec, truncated by ``scale``.
 
-    Truncation keeps a prefix of blocks — preserving the internal structure
-    each compiler exploits, just over a shorter program.
+    Routed through the workload-provider registry
+    (:mod:`repro.workloads`): truncating providers keep a prefix of
+    blocks (capped at ``BLOCK_CAPS[scale]``) — preserving the internal
+    structure each compiler exploits, just over a shorter program.
     """
     check_scale(scale)
-    blocks = benchmark_blocks(name, encoder_by_name(encoder))
-    cap = _BLOCK_CAPS[scale]
-    if cap is not None and len(blocks) > cap:
-        blocks = blocks[:cap]
-    return blocks
+    return workload_blocks(name, encoder, scale)
 
 
 def experiment_header(name: str, scale: str) -> str:

@@ -11,13 +11,13 @@ from typing import Dict, List
 
 from ..analysis import compile_and_measure
 from ..compiler import PaulihedralCompiler, TetrisCompiler
-from ..hardware import ibm_ithaca_65
+from ..hardware import resolve_device
 from .common import MOLECULES_BY_SCALE, check_scale, workload
 
 
 def run(scale: str = "small") -> List[Dict]:
     check_scale(scale)
-    coupling = ibm_ithaca_65()
+    coupling = resolve_device("ithaca")
     rows: List[Dict] = []
     for name in MOLECULES_BY_SCALE[scale]:
         blocks = workload(name, "JW", scale)

@@ -10,7 +10,7 @@ from typing import Dict, List, Sequence
 
 from ..analysis import compile_and_measure
 from ..compiler import TetrisCompiler
-from ..hardware import ibm_ithaca_65
+from ..hardware import resolve_device
 from .common import check_scale, workload
 
 DEFAULT_SWEEP = (1, 4, 7, 10, 13, 16, 19, 22)
@@ -22,7 +22,7 @@ def run(
     sweep: Sequence[int] = DEFAULT_SWEEP,
 ) -> List[Dict]:
     check_scale(scale)
-    coupling = ibm_ithaca_65()
+    coupling = resolve_device("ithaca")
     if scale == "smoke":
         benches = ("LiH",)
         sweep = (1, 10)

@@ -12,7 +12,7 @@ from typing import Dict, List, Sequence
 
 from ..analysis import compile_and_measure
 from ..compiler import TetrisCompiler
-from ..hardware import google_sycamore_64, ibm_ithaca_65
+from ..hardware import resolve_device
 from .common import check_scale, workload
 
 DEFAULT_WEIGHTS = (0.1, 0.5, 1, 2, 3, 4, 5, 10, 100)
@@ -24,7 +24,7 @@ def run(
     weights: Sequence[float] = DEFAULT_WEIGHTS,
 ) -> List[Dict]:
     check_scale(scale)
-    devices = [("ithaca", ibm_ithaca_65()), ("sycamore", google_sycamore_64())]
+    devices = [(name, resolve_device(name)) for name in ("ithaca", "sycamore")]
     if scale == "smoke":
         benches = ("LiH",)
         weights = (1, 3, 10)

@@ -11,13 +11,13 @@ from typing import Dict, List
 
 from ..analysis import compile_and_measure, improvement
 from ..compiler import PaulihedralCompiler, TetrisCompiler
-from ..hardware import google_sycamore_64
+from ..hardware import resolve_device
 from .common import MOLECULES_BY_SCALE, check_scale, workload
 
 
 def run(scale: str = "small") -> List[Dict]:
     check_scale(scale)
-    coupling = google_sycamore_64()
+    coupling = resolve_device("sycamore")
     rows: List[Dict] = []
     for name in MOLECULES_BY_SCALE[scale]:
         blocks = workload(name, "JW", scale)

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..analysis import compile_and_measure
 from ..compiler import PaulihedralCompiler, TetrisCompiler
-from ..hardware import ibm_ithaca_65
+from ..hardware import resolve_device
 from ..sim import NoiseModel, estimate_fidelity
 from .common import check_scale, workload
 
@@ -27,7 +27,7 @@ def run(
     seed: int = 5,
 ) -> List[Dict]:
     check_scale(scale)
-    coupling = ibm_ithaca_65()
+    coupling = resolve_device("ithaca")
     noise = NoiseModel()
     if scale == "smoke":
         benches = ("LiH",)

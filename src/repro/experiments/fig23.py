@@ -17,7 +17,7 @@ from ..compiler import (
     TetrisQAOACompiler,
     TwoQANLikeCompiler,
 )
-from ..hardware import ibm_ithaca_65
+from ..hardware import resolve_device
 from ..qaoa import QAOA_BENCHMARKS, benchmark_graph, maxcut_blocks
 from .common import check_scale
 
@@ -28,7 +28,7 @@ def run(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
 ) -> List[Dict]:
     check_scale(scale)
-    coupling = ibm_ithaca_65()
+    coupling = resolve_device("ithaca")
     if scale == "smoke":
         benches = ("Rand-16",)
         seeds = (0,)

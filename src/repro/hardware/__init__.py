@@ -1,7 +1,21 @@
-"""Hardware models: coupling graphs, device catalog."""
+"""Hardware models: coupling graphs, device catalog, family registry.
+
+Every lattice family is registered in
+:data:`~repro.hardware.families.DEVICE_FAMILIES` and addressable by a
+parametric spec string — ``grid:8x8``, ``heavy-hex:5``, ``linear:72``,
+``ring:32``, ``sycamore:6x6`` — via :func:`resolve_device`.
+"""
 
 from .coupling import CouplingGraph
 from .device import Device, ithaca_device, sycamore_device
+from .families import (
+    DEVICE_FAMILIES,
+    DeviceFamily,
+    canonical_device_spec,
+    describe_devices,
+    device_names,
+    resolve_device,
+)
 from .heavy_hex import heavy_hex, ibm_ithaca_65
 from .lattices import fully_connected, grid, linear, ring
 from .sycamore import google_sycamore_64, sycamore
@@ -11,6 +25,12 @@ __all__ = [
     "Device",
     "ithaca_device",
     "sycamore_device",
+    "DEVICE_FAMILIES",
+    "DeviceFamily",
+    "resolve_device",
+    "canonical_device_spec",
+    "describe_devices",
+    "device_names",
     "heavy_hex",
     "ibm_ithaca_65",
     "google_sycamore_64",

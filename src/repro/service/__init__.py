@@ -30,13 +30,14 @@ from .cache import (
     default_cache_dir,
 )
 from .jobs import (
+    COMPILERS,
     SPEC_VERSION,
     CompileJob,
     JobResult,
     benchmark_names,
     compiler_names,
     device_names,
-    is_qaoa_bench,
+    grid_jobs,
     job_blocks,
     make_compiler,
     resolve_device,
@@ -47,16 +48,17 @@ from .sink import CsvSink, JsonlSink, write_results
 
 __all__ = [
     "SPEC_VERSION",
+    "COMPILERS",
     "CompileJob",
     "JobResult",
     "run_job",
     "job_blocks",
+    "grid_jobs",
     "make_compiler",
     "resolve_device",
     "benchmark_names",
     "compiler_names",
     "device_names",
-    "is_qaoa_bench",
     "ResultCache",
     "CacheStats",
     "GLOBAL_STATS",

@@ -6,6 +6,12 @@ with a deterministic content hash.  Because the hash covers every input
 that can change the output circuit, it doubles as the cache key for
 :mod:`repro.service.cache` and as the dedup key for batch submissions.
 
+Every axis of the cell is registry-backed and spec-string addressable
+(see :mod:`repro.registry`): compilers through :data:`COMPILERS`,
+devices through :data:`repro.hardware.families.DEVICE_FAMILIES`
+(``grid:8x8``, ``linear:auto+2``, ...), and workloads through
+:data:`repro.workloads.WORKLOADS` (``chem:LiH``, ``qaoa:Rand-16``, ...).
+
 :class:`JobResult` carries the measured :class:`~repro.circuit.metrics.
 CircuitMetrics` and serializes to/from JSON, so results can cross process
 boundaries (the worker pool) and sessions (the on-disk cache) unchanged.
@@ -17,7 +23,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 from functools import lru_cache
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..circuit.metrics import CircuitMetrics
 from ..compiler import (
@@ -29,35 +35,64 @@ from ..compiler import (
     TketLikeCompiler,
     TwoQANLikeCompiler,
 )
-from ..hardware import (
-    fully_connected,
-    google_sycamore_64,
-    ibm_ithaca_65,
-    linear,
+from ..hardware.families import (  # noqa: F401  (device_names re-exported)
+    LEGACY_DEVICE_NAMES,
+    canonical_device_spec,
+    device_names,
+    resolve_device,
+)
+from ..registry import Registry
+from ..workloads import (  # noqa: F401  (benchmark_names re-exported)
+    SCALES,
+    benchmark_names,
+    canonical_bench,
+    resolve_workload,
+    uses_encoder,
+    workload_blocks,
 )
 
-#: Bump when the spec or result schema changes — old cache entries become
-#: misses instead of deserialization errors.
-SPEC_VERSION = 1
+#: Schema version of the job/result spec.  Version 2 introduced the
+#: registry vocabulary (parametric device specs, namespaced workloads).
+#: Migration path: content hashes canonicalize each spec first, and any
+#: spec still expressible in the version-1 vocabulary hashes under
+#: version 1 — so caches warmed before the redesign keep hitting, for
+#: both the old spellings and their new-grammar aliases.
+SPEC_VERSION = 2
 
-#: Compiler registry: name -> factory taking keyword params.
-COMPILER_FACTORIES = {
-    "tetris": TetrisCompiler,
-    "paulihedral": PaulihedralCompiler,
-    "max-cancel": MaxCancelCompiler,
-    "tket-like": TketLikeCompiler,
-    "pcoast-like": PCoastLikeCompiler,
-    "2qan-like": lambda **params: TwoQANLikeCompiler(
-        include_wrappers=False, **params
-    ),
-    "tetris-qaoa": lambda **params: TetrisQAOACompiler(
-        include_wrappers=False, **params
-    ),
-}
+#: Compiler registry: values are factories taking keyword params.
+COMPILERS = Registry("compiler")
 
-DEVICES = ("ithaca", "sycamore", "linear", "full")
-
-SCALES = ("smoke", "small", "full")
+COMPILERS.add(
+    "tetris", TetrisCompiler,
+    description="Tetris block scheduler + CNOT-cancelling synthesis (the paper)",
+)
+COMPILERS.add(
+    "paulihedral", PaulihedralCompiler, aliases=("ph",),
+    description="Paulihedral-style similarity-chain baseline",
+)
+COMPILERS.add(
+    "max-cancel", MaxCancelCompiler, aliases=("maxcancel",),
+    description="single-leaf-tree maximum CNOT cancellation bound",
+)
+COMPILERS.add(
+    "tket-like", TketLikeCompiler, aliases=("tket",),
+    description="T|Ket>-style pairwise synthesis baseline",
+)
+COMPILERS.add(
+    "pcoast-like", PCoastLikeCompiler, aliases=("pcoast",),
+    description="PCOAST-style graph optimization baseline",
+)
+COMPILERS.add(
+    "2qan-like",
+    lambda **params: TwoQANLikeCompiler(include_wrappers=False, **params),
+    aliases=("2qan",),
+    description="2QAN-style QAOA baseline (no wrapper gates)",
+)
+COMPILERS.add(
+    "tetris-qaoa",
+    lambda **params: TetrisQAOACompiler(include_wrappers=False, **params),
+    description="Tetris specialization for QAOA workloads",
+)
 
 #: The metric columns of a flattened result row (see JobResult.row).
 METRIC_COLUMNS = tuple(
@@ -68,46 +103,11 @@ METRIC_COLUMNS = tuple(
 
 
 def compiler_names() -> List[str]:
-    return sorted(COMPILER_FACTORIES)
-
-
-def device_names() -> List[str]:
-    return list(DEVICES)
-
-
-def benchmark_names() -> List[str]:
-    """Every workload name a job may reference (chemistry, UCC, QAOA)."""
-    from ..chem import all_benchmark_names
-    from ..qaoa.graphs import QAOA_BENCHMARKS
-
-    return all_benchmark_names() + list(QAOA_BENCHMARKS)
-
-
-def is_qaoa_bench(name: str) -> bool:
-    return name.lower().startswith(("rand", "reg"))
+    return COMPILERS.names()
 
 
 def make_compiler(name: str, params: Mapping[str, Any]):
-    try:
-        factory = COMPILER_FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown compiler {name!r}; available: {compiler_names()}"
-        ) from None
-    return factory(**dict(params))
-
-
-def resolve_device(name: str, num_logical: int):
-    """Resolve a device name to a coupling graph sized for the workload."""
-    if name == "ithaca":
-        return ibm_ithaca_65()
-    if name == "sycamore":
-        return google_sycamore_64()
-    if name == "linear":
-        return linear(num_logical + 2)
-    if name == "full":
-        return fully_connected(num_logical)
-    raise ValueError(f"unknown device {name!r}; available: {device_names()}")
+    return COMPILERS.get(name)(**dict(params))
 
 
 @dataclass(frozen=True)
@@ -116,7 +116,10 @@ class CompileJob:
 
     ``params`` accepts a mapping at construction and is normalized to a
     sorted tuple of pairs so two jobs built from differently-ordered dicts
-    hash identically.
+    hash identically.  ``compiler`` and ``device`` are validated against
+    their registries at construction; ``bench`` is validated only when
+    namespaced (bare names stay lazy, erroring at run time, exactly as
+    under SPEC_VERSION 1).
     """
 
     bench: str
@@ -136,14 +139,10 @@ class CompileJob:
         object.__setattr__(
             self, "params", tuple(sorted((str(k), v) for k, v in pairs))
         )
-        if self.compiler not in COMPILER_FACTORIES:
-            raise ValueError(
-                f"unknown compiler {self.compiler!r}; available: {compiler_names()}"
-            )
-        if self.device not in DEVICES:
-            raise ValueError(
-                f"unknown device {self.device!r}; available: {device_names()}"
-            )
+        COMPILERS.canonical(self.compiler)  # raises on unknown names
+        canonical_device_spec(self.device)  # raises on unknown/malformed specs
+        if ":" in self.bench:
+            resolve_workload(self.bench)  # namespaced benches validate eagerly
         if self.scale not in SCALES:
             raise ValueError(f"scale must be one of {SCALES}, got {self.scale!r}")
 
@@ -167,10 +166,35 @@ class CompileJob:
             raise ValueError(f"unknown job fields: {sorted(unknown)}")
         return cls(**dict(spec))
 
+    def canonical_spec(self) -> Dict[str, Any]:
+        """The spec with every axis in registry-canonical form.
+
+        Aliases and alternate spellings collapse here, so ``ph`` /
+        ``paulihedral``, ``sycamore:8x8`` / ``sycamore`` and
+        ``chem:LiH`` / ``LiH`` all describe — and hash as — the same
+        cell.
+        """
+        spec = self.to_dict()
+        spec["compiler"] = COMPILERS.canonical(self.compiler)
+        spec["device"] = canonical_device_spec(self.device)
+        spec["bench"] = canonical_bench(self.bench)
+        return spec
+
     def content_hash(self) -> str:
-        """Deterministic sha256 over the canonical JSON spec."""
+        """Deterministic sha256 over the canonical JSON spec.
+
+        Specs expressible in the pre-registry vocabulary hash under
+        version 1, byte-identically to the original implementation, so
+        existing on-disk caches stay warm; only genuinely new specs
+        (parametric devices, namespace-only workloads) hash under
+        version 2.
+        """
+        spec = self.canonical_spec()
+        version = SPEC_VERSION
+        if spec["device"] in LEGACY_DEVICE_NAMES and ":" not in spec["bench"]:
+            version = 1
         payload = json.dumps(
-            {"v": SPEC_VERSION, **self.to_dict()},
+            {"v": version, **spec},
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -182,6 +206,47 @@ class CompileJob:
         if self.params:
             tag += "(" + ",".join(f"{k}={v}" for k, v in self.params) + ")"
         return tag
+
+
+def grid_jobs(
+    benches: Sequence[str],
+    compilers: Sequence[str] = ("tetris",),
+    devices: Sequence[str] = ("ithaca",),
+    encoders: Sequence[str] = ("JW",),
+    scale: str = "small",
+    blocks: int = 0,
+    optimization_level: int = 3,
+    params: Mapping[str, Any] = (),
+) -> List["CompileJob"]:
+    """Cross product of the given axes, deduped by content hash.
+
+    Workloads that ignore the fermionic encoder (QAOA) are normalized to
+    JW so JW/BK sweeps don't create duplicate cells.
+    """
+    jobs: List[CompileJob] = []
+    seen = set()
+    for bench in benches:
+        bench_uses_encoder = uses_encoder(bench)
+        for compiler in compilers:
+            for device in devices:
+                for encoder in encoders:
+                    if not bench_uses_encoder:
+                        encoder = "JW"
+                    job = CompileJob(
+                        bench=bench,
+                        compiler=compiler,
+                        encoder=encoder,
+                        device=device,
+                        scale=scale,
+                        blocks=blocks,
+                        optimization_level=optimization_level,
+                        params=dict(params),
+                    )
+                    key = job.content_hash()
+                    if key not in seen:
+                        seen.add(key)
+                        jobs.append(job)
+    return jobs
 
 
 @dataclass
@@ -203,10 +268,13 @@ class JobResult:
         return self.error is None
 
     def row(self) -> Dict[str, Any]:
-        """Flatten to one table/CSV row: job spec columns then metrics.
+        """Flatten to one table/CSV row: the full job spec then metrics.
 
-        Metric columns are always present (empty when the job errored) so
-        a CSV header built from an errored first row still carries them.
+        Every ablation axis (``blocks``, ``optimization_level``,
+        ``params``) is a column, so two cells differing only in an
+        ablation knob stay distinguishable in CSV/JSONL output.  Metric
+        columns are always present (empty when the job errored) so a CSV
+        header built from an errored first row still carries them.
         """
         row: Dict[str, Any] = {
             "bench": self.job.bench,
@@ -214,6 +282,9 @@ class JobResult:
             "compiler": self.job.compiler,
             "device": self.job.device,
             "scale": self.job.scale,
+            "blocks": self.job.blocks,
+            "optimization_level": self.job.optimization_level,
+            "params": ";".join(f"{k}={v}" for k, v in self.job.params),
         }
         if self.metrics is not None:
             row.update(self.metrics.as_row())
@@ -254,19 +325,20 @@ class JobResult:
 def _resolved_blocks(bench: str, encoder: str, scale: str) -> Tuple:
     """Per-process workload memo: blocks are expensive to build (molecular
     Hamiltonians) and shared read-only by every compiler in a batch."""
-    if is_qaoa_bench(bench):
-        from ..qaoa import benchmark_graph, maxcut_blocks
-
-        return tuple(maxcut_blocks(benchmark_graph(bench)))
-    # Lazy: repro.experiments imports repro.service at module level.
-    from ..experiments.common import workload
-
-    return tuple(workload(bench, encoder, scale))
+    return tuple(workload_blocks(bench, encoder, scale))
 
 
 def job_blocks(job: CompileJob):
-    """Resolve the job's workload to Pauli blocks (scale-truncated)."""
-    blocks = list(_resolved_blocks(job.bench, job.encoder, job.scale))
+    """Resolve the job's workload to Pauli blocks (scale-truncated).
+
+    The memo key is the canonical workload spec with the encoder
+    normalized away for providers that ignore it, so ``chem:LiH`` and
+    ``LiH`` (and a QAOA cell under either encoder label) share one
+    entry.
+    """
+    bench = canonical_bench(job.bench)
+    encoder = job.encoder if uses_encoder(bench) else "JW"
+    blocks = list(_resolved_blocks(bench, encoder, job.scale))
     if job.blocks > 0:
         blocks = blocks[: job.blocks]
     return blocks
