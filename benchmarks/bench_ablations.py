@@ -7,44 +7,56 @@ on a fixed workload, so the contribution of every mechanism is visible:
 - Gray-code string ordering vs encoder order;
 - fast bridging on/off;
 - swap-weight extremes (w=0.1 vs w=100).
+
+Every variant is a pipeline spec string (``tetris:no-bridge``,
+``tetris:w=0.1``, ...) run through :func:`repro.pipeline.run_pipeline`
+rather than a hand-constructed compiler object, so adding an ablation is
+one string — and the per-pass profile attributes each variant's time to
+its synthesis stage.
 """
 
 import pytest
 
-from repro.analysis import compile_and_measure
 from repro.chem import molecule_blocks
-from repro.compiler import TetrisCompiler
 from repro.hardware import ibm_ithaca_65
+from repro.pipeline import run_pipeline
 
 BLOCKS = molecule_blocks("LiH")[:48]
 COUPLING = ibm_ithaca_65()
 
 VARIANTS = {
-    "full": TetrisCompiler(),
-    "no_lookahead": TetrisCompiler(lookahead=0),
-    "no_gray_order": TetrisCompiler(sort_strings=False),
-    "no_bridging": TetrisCompiler(enable_bridging=False),
-    "w_0.1": TetrisCompiler(swap_weight=0.1),
-    "w_100": TetrisCompiler(swap_weight=100),
+    "full": "tetris",
+    "no_lookahead": "tetris:no-lookahead",
+    "no_gray_order": "tetris:no-gray",
+    "no_bridging": "tetris:no-bridge",
+    "w_0.1": "tetris:w=0.1",
+    "w_100": "tetris:w=100",
 }
 
 
 @pytest.mark.parametrize("name", sorted(VARIANTS))
 def test_ablation(benchmark, name):
-    record = benchmark.pedantic(
-        lambda: compile_and_measure(VARIANTS[name], BLOCKS, COUPLING),
+    run = benchmark.pedantic(
+        lambda: run_pipeline(VARIANTS[name], BLOCKS, COUPLING, profile=True),
         rounds=1,
         iterations=1,
     )
-    benchmark.extra_info["cnot"] = record.metrics.cnot_gates
-    benchmark.extra_info["swaps"] = record.metrics.swap_cnots // 3
-    benchmark.extra_info["depth"] = record.metrics.depth
-    assert record.metrics.cnot_gates > 0
+    metrics = run.metrics()
+    benchmark.extra_info["cnot"] = metrics.cnot_gates
+    benchmark.extra_info["swaps"] = metrics.swap_cnots // 3
+    benchmark.extra_info["depth"] = metrics.depth
+    benchmark.extra_info["synth_seconds"] = round(
+        sum(p.seconds for p in run.profile.passes if p.stage == "synthesis"), 4
+    )
+    assert metrics.cnot_gates > 0
+    assert run.profile.reconciles(
+        metrics.cnot_gates, metrics.one_qubit_gates, metrics.depth
+    )
 
 
 def test_string_ordering_matters(benchmark):
     """Gray ordering should not lose to unsorted emission."""
-    full = compile_and_measure(VARIANTS["full"], BLOCKS, COUPLING)
-    unsorted = compile_and_measure(VARIANTS["no_gray_order"], BLOCKS, COUPLING)
+    full = run_pipeline(VARIANTS["full"], BLOCKS, COUPLING).metrics()
+    unsorted = run_pipeline(VARIANTS["no_gray_order"], BLOCKS, COUPLING).metrics()
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    assert full.metrics.cnot_gates <= unsorted.metrics.cnot_gates * 1.05
+    assert full.cnot_gates <= unsorted.cnot_gates * 1.05

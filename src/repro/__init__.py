@@ -3,7 +3,10 @@
 Public API highlights
 ---------------------
 - :func:`repro.compile` / :func:`repro.sweep` — compile one cell or a
-  whole (workload x compiler x device) grid through the batch service.
+  whole (workload x compiler x device) grid through the batch service
+  (``profile_passes=True`` attaches per-pass profiles).
+- :mod:`repro.pipeline` — composable pass pipelines with per-pass
+  profiling; every compiler is a registered pass sequence.
 - :mod:`repro.registry` — generic registries behind every spec string.
 - :mod:`repro.workloads` — workload providers (``chem:LiH``,
   ``ucc:UCC-30``, ``qaoa:Rand-16``).
@@ -44,16 +47,21 @@ def compile(  # noqa: A001 — the facade intentionally owns this name
     optimization_level=3,
     params=None,
     use_cache=True,
+    profile_passes=False,
 ):
     """Compile one (workload, compiler, device) cell and return its result.
 
     Every name is a registry spec string — ``bench="chem:LiH"``,
-    ``device="grid:8x8"``, legacy spellings included::
+    ``device="grid:8x8"``, legacy spellings included — and ``compiler``
+    accepts full pipeline specs (``"tetris:no-bridge"``, a custom pass
+    list)::
 
         import repro
         result = repro.compile(bench="chem:LiH", compiler="tetris",
-                               device="grid:8x8", scale="smoke")
+                               device="grid:8x8", scale="smoke",
+                               profile_passes=True)
         print(result.metrics.cnot_gates)
+        print(result.profile.rows())   # per-pass time + metric deltas
 
     Runs cache-first through :mod:`repro.service` and returns a
     populated :class:`~repro.service.jobs.JobResult`.  Raises
@@ -73,7 +81,9 @@ def compile(  # noqa: A001 — the facade intentionally owns this name
         optimization_level=optimization_level,
         params=dict(params or {}),
     )
-    return run_batch([job], use_cache=use_cache, strict=True)[0]
+    return run_batch(
+        [job], use_cache=use_cache, strict=True, profile=profile_passes
+    )[0]
 
 
 def sweep(
@@ -89,6 +99,7 @@ def sweep(
     use_cache=True,
     progress=None,
     strict=True,
+    profile_passes=False,
 ):
     """Compile the cross product of the given axes as one batch.
 
@@ -123,6 +134,7 @@ def sweep(
         use_cache=use_cache,
         progress=progress,
         strict=strict,
+        profile=profile_passes,
     )
 
 

@@ -1,11 +1,14 @@
 """Command-line compilation tool.
 
 Compile any built-in benchmark with any compiler onto any device and print
-the metrics (optionally dumping OpenQASM).  Workloads and devices are
-registry spec strings — legacy names still work::
+the metrics (optionally dumping OpenQASM).  Workloads, devices, and
+compilers are registry spec strings — legacy names still work, and
+compilers are full pipeline specs (variants, parameter assignments, or
+custom pass lists)::
 
     python -m repro.cli --bench LiH --compiler tetris --device ithaca
     python -m repro.cli --bench chem:LiH --device grid:8x8
+    python -m repro.cli --bench LiH --compiler tetris:no-bridge --profile-passes
     python -m repro.cli --bench qaoa:Rand-16 --compiler tetris-qaoa --qasm out.qasm
     python -m repro.cli --bench ucc:UCC-10 --compiler paulihedral --blocks 50
 
@@ -17,6 +20,8 @@ JSONL/CSV::
         --scale smoke --jobs 4 --jsonl results.jsonl --csv results.csv
     python -m repro.cli batch --bench chem:LiH --device grid:4x4,linear:16 \
         --scale smoke --jsonl results.jsonl
+    python -m repro.cli batch --bench chem:LiH --compiler tetris \
+        --profile-passes --csv profiled.csv
     python -m repro.cli batch --matrix jobs.json --jsonl results.jsonl
 
 Discover the vocabulary (families, aliases, and the parameter grammar)
@@ -30,12 +35,18 @@ import json
 import sys
 import time
 
-from .analysis import compile_and_measure, format_table
+from .analysis import format_table
 from .circuit import to_qasm
 from .hardware.families import DEVICE_FAMILIES, canonical_device_spec
+from .pipeline import (
+    PIPELINES,
+    PipelineError,
+    resolve_compiler_spec,
+    run_pipeline,
+    split_opt_suffix,
+)
 from .registry import RegistryError
 from .service import (
-    COMPILERS,
     CompileJob,
     CsvSink,
     JsonlSink,
@@ -43,7 +54,6 @@ from .service import (
     cache_enabled,
     execute_jobs,
     grid_jobs,
-    make_compiler,
     resolve_device,
     worker_count,
 )
@@ -66,16 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload spec: LiH, chem:LiH, ucc:UCC-10, "
                              "qaoa:Rand-16, ... (see --list-benchmarks)")
     parser.add_argument("--compiler", default="tetris",
-                        help="compiler name or alias (see --list-compilers)")
+                        help="pipeline spec: a compiler name/alias, a variant "
+                             "form like tetris:no-bridge or tetris:w=0.1, or "
+                             "a custom pass list (see --list-compilers)")
     parser.add_argument("--device", default="ithaca",
                         help="device spec: ithaca, grid:8x8, heavy-hex:5, "
                              "linear:72, ring:32, ... (see --list-devices)")
     parser.add_argument("--encoder", default="JW", choices=["JW", "BK"])
     parser.add_argument("--blocks", type=int, default=0,
                         help="truncate to the first N blocks (0 = all)")
-    parser.add_argument("--swap-weight", type=float, default=3.0)
-    parser.add_argument("--lookahead", type=int, default=10)
+    parser.add_argument("--swap-weight", type=float, default=None)
+    parser.add_argument("--lookahead", type=int, default=None)
     parser.add_argument("--opt-level", type=int, default=3, choices=[0, 1, 3])
+    parser.add_argument("--profile-passes", action="store_true",
+                        help="print the per-pass profile (wall time and "
+                             "CNOT/1Q/depth deltas) after the metrics")
     parser.add_argument("--qasm", default="", help="write OpenQASM to this path")
     parser.add_argument("--list-benchmarks", action="store_true",
                         help="print every workload provider + instance and exit")
@@ -94,9 +109,13 @@ def print_benchmarks() -> None:
 
 
 def print_compilers() -> None:
-    for entry in COMPILERS.entries():
+    print("compiler pipelines (spec: <name>[:<variant>,...], or a "
+          "comma-separated pass list; single mode also accepts a "
+          "+o<level> suffix — batch jobs use --opt-level):")
+    for entry in PIPELINES.entries():
         aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
-        print(f"{entry.name}{aliases}  -- {entry.description}")
+        print(f"  {entry.grammar}{aliases}")
+        print(f"      passes: {entry.description}")
 
 
 def print_devices() -> None:
@@ -108,9 +127,16 @@ def print_devices() -> None:
 
 
 def _single_compiler_params(args) -> dict:
-    if COMPILERS.canonical(args.compiler) == "tetris":
-        return {"swap_weight": args.swap_weight, "lookahead": args.lookahead}
-    return {}
+    """Explicitly-set tetris tuning flags (None = builder/variant default)."""
+    base, _level = split_opt_suffix(args.compiler)
+    name, _ = resolve_compiler_spec(base)
+    params = {}
+    if name == "tetris":
+        if args.swap_weight is not None:
+            params["swap_weight"] = args.swap_weight
+        if args.lookahead is not None:
+            params["lookahead"] = args.lookahead
+    return params
 
 
 def main(argv=None) -> int:
@@ -132,26 +158,40 @@ def main(argv=None) -> int:
         parser.error("--bench is required (or use --list-benchmarks)")
     try:
         canonical_device_spec(args.device)
-        COMPILERS.canonical(args.compiler)
+        base_spec, _suffix = split_opt_suffix(args.compiler)
+        resolve_compiler_spec(base_spec)
         blocks = resolve_blocks(args.bench, args.encoder)
         if args.blocks > 0:
             blocks = blocks[: args.blocks]
         coupling = resolve_device(args.device, blocks[0].num_qubits)
-    except (RegistryError, KeyError) as exc:
+        run = run_pipeline(
+            args.compiler,
+            blocks,
+            coupling,
+            optimization_level=args.opt_level,
+            params=_single_compiler_params(args),
+            profile=args.profile_passes,
+        )
+    except (RegistryError, PipelineError, KeyError) as exc:
         parser.error(str(exc))
-    compiler = make_compiler(args.compiler, _single_compiler_params(args))
-    record = compile_and_measure(
-        compiler, blocks, coupling, optimization_level=args.opt_level
-    )
+    metrics = run.metrics()
     print(format_table([{
         "bench": args.bench,
-        "compiler": record.compiler_name,
+        "compiler": run.result.compiler_name,
         "device": coupling.name,
-        **record.metrics.as_row(),
+        **metrics.as_row(),
     }]))
+    if args.profile_passes:
+        print()
+        print(format_table(run.profile.rows()))
+        totals = run.profile.totals()
+        print(f"pass deltas reconcile: cnot={totals['cnot']} "
+              f"oneq={totals['one_qubit']} depth={totals['depth']} "
+              f"(metrics: {metrics.cnot_gates}/{metrics.one_qubit_gates}"
+              f"/{metrics.depth})")
     if args.qasm:
         with open(args.qasm, "w") as handle:
-            handle.write(to_qasm(record.result.circuit))
+            handle.write(to_qasm(run.result.circuit))
         print(f"wrote {args.qasm}")
     return 0
 
@@ -183,6 +223,10 @@ def build_batch_parser() -> argparse.ArgumentParser:
                         help="worker processes (default: $REPRO_JOBS or 1)")
     parser.add_argument("--jsonl", default="", help="write JSONL results here")
     parser.add_argument("--csv", default="", help="write CSV results here")
+    parser.add_argument("--profile-passes", action="store_true",
+                        help="attach per-pass profiles: JSONL rows gain a "
+                             "'profile' object, CSV rows gain pass_* columns "
+                             "(unprofiled cache entries are recomputed)")
     parser.add_argument("--cache-dir", default="",
                         help=f"cache root (default: ${CACHE_DIR_ENV} or ~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
@@ -245,7 +289,7 @@ def batch_main(argv=None) -> int:
     if args.jsonl:
         sinks.append(JsonlSink(args.jsonl))
     if args.csv:
-        sinks.append(CsvSink(args.csv))
+        sinks.append(CsvSink(args.csv, include_profile=args.profile_passes))
 
     workers = worker_count(args.jobs)
     total = len(jobs)
@@ -256,7 +300,8 @@ def batch_main(argv=None) -> int:
     try:
         for done, result in enumerate(
             execute_jobs(jobs, max_workers=args.jobs, cache=cache,
-                         use_cache=cache is not None),
+                         use_cache=cache is not None,
+                         profile=args.profile_passes),
             start=1,
         ):
             for sink in sinks:

@@ -1,4 +1,22 @@
-"""Compiler interfaces and the shared compilation-result record."""
+"""Compiler interfaces and the shared compilation-result record.
+
+Three things live here, shared by every compiler and by the pipeline
+layer that the compilers are built on:
+
+- the paper's logical gate accounting
+  (:func:`logical_cnot_count`, :func:`logical_one_qubit_count`) — the
+  "original circuit" baselines that cancellation ratios are measured
+  against;
+- :class:`CompilationResult` — the uniform record every compiler
+  produces: the physical circuit plus layout and SWAP/bridge accounting,
+  with :meth:`CompilationResult.metrics` deriving the paper's metric
+  set from it;
+- :class:`Compiler` — the base class.  Since the pipeline refactor each
+  concrete compiler is a thin wrapper that delegates to its registered
+  pass sequence in :data:`repro.pipeline.registry.PIPELINES`
+  (via :meth:`Compiler.run_pipeline`), so the class API and the
+  spec-string API always agree gate-for-gate.
+"""
 
 from __future__ import annotations
 
@@ -89,6 +107,28 @@ class Compiler:
         num_logical: Optional[int] = None,
     ) -> CompilationResult:
         raise NotImplementedError
+
+    def run_pipeline(
+        self,
+        pipeline: str,
+        params: Dict,
+        blocks: Sequence[PauliBlock],
+        coupling: CouplingGraph,
+        num_logical: Optional[int] = None,
+    ) -> CompilationResult:
+        """Delegate to a registered pass sequence (no cleanup tail).
+
+        The shared implementation behind every concrete ``compile``:
+        builds the named pipeline's synthesis passes with ``params`` and
+        runs them, so class construction (``TetrisCompiler(lookahead=0)``)
+        and spec strings (``"tetris:no-lookahead"``) share one code path.
+        """
+        from ..pipeline.manager import PassManager
+        from ..pipeline.registry import PIPELINES
+
+        builder = PIPELINES.get(pipeline).builder
+        manager = PassManager(builder(**params), name=self.name)
+        return manager.run(blocks, coupling, num_logical=num_logical).result
 
     def compile_timed(
         self,

@@ -13,26 +13,18 @@ Two cleanup styles mirror Fig. 15a:
   structure, so cleaning pre-routing pays off);
 - ``style="qiskit-o3"`` — the circuit is routed first and only then
   optimized (post-hoc cleanup of an already-routed circuit).
+
+As a pipeline this is ``tket-like``: ``synth-chain``,
+``cancel-logical`` (tket-o2 style only), ``layout``, ``route``.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..circuit.circuit import QuantumCircuit
 from ..hardware.coupling import CouplingGraph
 from ..pauli.block import PauliBlock
-from ..passes.peephole import cancel_gates
-from ..routing.layout import greedy_interaction_layout
-from ..routing.router import route_circuit
-from ..synthesis.chain import synthesize_chain
-from .base import (
-    CompilationResult,
-    Compiler,
-    blocks_num_qubits,
-    interaction_pairs,
-    logical_cnot_count,
-)
+from .base import CompilationResult, Compiler
 
 _STYLES = ("tket-o2", "qiskit-o3")
 
@@ -54,25 +46,6 @@ class TketLikeCompiler(Compiler):
         coupling: CouplingGraph,
         num_logical: Optional[int] = None,
     ) -> CompilationResult:
-        num_logical = num_logical or blocks_num_qubits(blocks)
-        logical = QuantumCircuit(num_logical, name="tket-like")
-        for block in blocks:
-            for string, weight in zip(block.strings, block.weights):
-                if not string.is_identity():
-                    synthesize_chain(string, block.angle * weight, logical)
-
-        if self.style == "tket-o2":
-            logical = cancel_gates(logical)
-
-        layout = greedy_interaction_layout(
-            num_logical, coupling, interaction_pairs(blocks)
-        )
-        routed = route_circuit(logical, coupling, layout)
-        return CompilationResult(
-            circuit=routed.circuit,
-            initial_layout=routed.initial_layout,
-            final_layout=routed.final_layout,
-            num_swaps=routed.num_swaps,
-            logical_cnots=logical_cnot_count(blocks),
-            compiler_name=self.name,
+        return self.run_pipeline(
+            "tket-like", {"style": self.style}, blocks, coupling, num_logical
         )

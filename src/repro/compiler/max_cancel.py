@@ -18,16 +18,8 @@ from ..circuit.gate import Gate
 from ..hardware.coupling import CouplingGraph
 from ..pauli.block import PauliBlock
 from ..pauli.operators import I
-from ..routing.layout import greedy_interaction_layout
-from ..routing.router import route_circuit
 from ..synthesis.basis_change import post_rotation_gates, pre_rotation_gates
-from .base import (
-    CompilationResult,
-    Compiler,
-    blocks_num_qubits,
-    interaction_pairs,
-    logical_cnot_count,
-)
+from .base import CompilationResult, Compiler, blocks_num_qubits
 from .tetris.ir import TetrisBlockIR, lower_blocks
 
 
@@ -98,7 +90,9 @@ def _emit_block_single_leaf_tree(circuit: QuantumCircuit, ir: TetrisBlockIR) -> 
 
 
 class MaxCancelCompiler(Compiler):
-    """Single-leaf-tree logical synthesis followed by generic routing."""
+    """Single-leaf-tree logical synthesis followed by generic routing —
+    the ``max-cancel`` pipeline (``order-similarity``,
+    ``synth-single-leaf``, ``layout``, ``route``)."""
 
     name = "max_cancel"
 
@@ -111,23 +105,10 @@ class MaxCancelCompiler(Compiler):
         coupling: CouplingGraph,
         num_logical: Optional[int] = None,
     ) -> CompilationResult:
-        from .paulihedral import similarity_chain_order
-
-        num_logical = num_logical or blocks_num_qubits(blocks)
-        block_order = similarity_chain_order(blocks)
-        ordered = [blocks[index] for index in block_order]
-        logical = max_cancel_logical_circuit(ordered, sort_strings=self.sort_strings)
-        layout = greedy_interaction_layout(
-            num_logical, coupling, interaction_pairs(blocks)
+        return self.run_pipeline(
+            "max-cancel",
+            {"sort_strings": self.sort_strings},
+            blocks,
+            coupling,
+            num_logical,
         )
-        routed = route_circuit(logical, coupling, layout)
-        result = CompilationResult(
-            circuit=routed.circuit,
-            initial_layout=routed.initial_layout,
-            final_layout=routed.final_layout,
-            num_swaps=routed.num_swaps,
-            logical_cnots=logical_cnot_count(blocks),
-            compiler_name=self.name,
-        )
-        result.extra["block_order"] = block_order
-        return result

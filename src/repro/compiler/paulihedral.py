@@ -20,20 +20,12 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..circuit import gate as g
-from ..circuit.circuit import QuantumCircuit
 from ..circuit.gate import Gate
 from ..hardware.coupling import CouplingGraph
 from ..pauli.block import PauliBlock
 from ..pauli.similarity import block_similarity
-from ..routing.layout import greedy_interaction_layout
 from ..synthesis.basis_change import post_rotation_gates, pre_rotation_gates
-from .base import (
-    CompilationResult,
-    Compiler,
-    blocks_num_qubits,
-    interaction_pairs,
-    logical_cnot_count,
-)
+from .base import CompilationResult, Compiler
 from .mapping_utils import (
     SwapTracker,
     connect_support,
@@ -112,7 +104,8 @@ def emit_string_over_spanning_tree(
 
 
 class PaulihedralCompiler(Compiler):
-    """The SWAP-centric baseline."""
+    """The SWAP-centric baseline — the ``paulihedral`` pipeline
+    (``order-similarity``, ``layout``, ``synth-spanning-tree``)."""
 
     name = "paulihedral"
 
@@ -125,32 +118,10 @@ class PaulihedralCompiler(Compiler):
         coupling: CouplingGraph,
         num_logical: Optional[int] = None,
     ) -> CompilationResult:
-        num_logical = num_logical or blocks_num_qubits(blocks)
-        layout = greedy_interaction_layout(
-            num_logical, coupling, interaction_pairs(blocks)
+        return self.run_pipeline(
+            "paulihedral",
+            {"sort_strings": self.sort_strings},
+            blocks,
+            coupling,
+            num_logical,
         )
-        initial = layout.copy()
-        circuit = QuantumCircuit(coupling.num_qubits, name="paulihedral")
-        tracker = SwapTracker(circuit, layout)
-
-        block_order = similarity_chain_order(blocks)
-        for index in block_order:
-            block = blocks[index]
-            pairs = list(zip(block.strings, block.weights))
-            if self.sort_strings and block.pairwise_commuting():
-                pairs.sort(key=lambda item: item[0].ops)
-            for string, weight in pairs:
-                emit_string_over_spanning_tree(
-                    tracker, coupling, string, block.angle * weight
-                )
-
-        result = CompilationResult(
-            circuit=circuit,
-            initial_layout=initial,
-            final_layout=layout,
-            num_swaps=tracker.num_swaps,
-            logical_cnots=logical_cnot_count(blocks),
-            compiler_name=self.name,
-        )
-        result.extra["block_order"] = block_order
-        return result

@@ -6,7 +6,9 @@ so the subsequent routing pass pays a large SWAP bill (paper Fig. 15b).
 
 We model it as: greedy global ordering of blocks by leaf similarity,
 single-leaf-tree synthesis (maximal logical cancellation, like max_cancel),
-a logical cancellation pass, then generic routing.
+a logical cancellation pass, then generic routing — the ``pcoast-like``
+pipeline (``order-similarity``, ``synth-single-leaf``, ``cancel-logical``,
+``layout``, ``route``).
 """
 
 from __future__ import annotations
@@ -15,18 +17,7 @@ from typing import Optional, Sequence
 
 from ..hardware.coupling import CouplingGraph
 from ..pauli.block import PauliBlock
-from ..passes.peephole import cancel_gates
-from ..routing.layout import greedy_interaction_layout
-from ..routing.router import route_circuit
-from .base import (
-    CompilationResult,
-    Compiler,
-    blocks_num_qubits,
-    interaction_pairs,
-    logical_cnot_count,
-)
-from .max_cancel import max_cancel_logical_circuit
-from .paulihedral import similarity_chain_order
+from .base import CompilationResult, Compiler
 
 
 class PCoastLikeCompiler(Compiler):
@@ -40,22 +31,4 @@ class PCoastLikeCompiler(Compiler):
         coupling: CouplingGraph,
         num_logical: Optional[int] = None,
     ) -> CompilationResult:
-        num_logical = num_logical or blocks_num_qubits(blocks)
-        block_order = similarity_chain_order(blocks)
-        ordered = [blocks[index] for index in block_order]
-        logical = max_cancel_logical_circuit(ordered)
-        logical = cancel_gates(logical)
-        layout = greedy_interaction_layout(
-            num_logical, coupling, interaction_pairs(blocks)
-        )
-        routed = route_circuit(logical, coupling, layout)
-        result = CompilationResult(
-            circuit=routed.circuit,
-            initial_layout=routed.initial_layout,
-            final_layout=routed.final_layout,
-            num_swaps=routed.num_swaps,
-            logical_cnots=logical_cnot_count(blocks),
-            compiler_name=self.name,
-        )
-        result.extra["block_order"] = block_order
-        return result
+        return self.run_pipeline("pcoast-like", {}, blocks, coupling, num_logical)

@@ -6,32 +6,24 @@ here:
 
 - :class:`TwoQANLikeCompiler` — commutation-aware greedy scheduling: emit
   every currently-executable edge, then insert the SWAP that best serves
-  the remaining edges.
+  the remaining edges.  Pipeline ``2qan-like``: ``extract-edges``,
+  ``layout``, ``synth-2qan``.
 - :class:`TetrisQAOACompiler` — the paper's Sec. V-C optimization: the same
   commuting freedom, plus a lookahead choice between SWAP insertion and
   fast bridging, and mid-circuit measurement to retire finished qubits so
-  their slots become |0> bridge ancillas.
+  their slots become |0> bridge ancillas.  Pipeline ``tetris-qaoa``:
+  ``extract-edges``, ``layout``, ``synth-qaoa-reuse``.
 
 Both take the MaxCut blocks of :mod:`repro.qaoa` (one ZZ string per edge).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..circuit import gate as g
-from ..circuit.circuit import QuantumCircuit
-from ..circuit.gate import Gate
 from ..hardware.coupling import CouplingGraph
 from ..pauli.block import PauliBlock
-from ..routing.layout import Layout, greedy_interaction_layout
-from .base import (
-    CompilationResult,
-    Compiler,
-    blocks_num_qubits,
-    logical_cnot_count,
-)
-from .mapping_utils import SwapTracker
+from .base import CompilationResult, Compiler
 
 
 def extract_edges(blocks: Sequence[PauliBlock]) -> List[Tuple[int, int, float]]:
@@ -48,12 +40,6 @@ def extract_edges(blocks: Sequence[PauliBlock]) -> List[Tuple[int, int, float]]:
     return edges
 
 
-def _emit_zz(circuit: QuantumCircuit, pu: int, pv: int, angle: float) -> None:
-    circuit.append(Gate(g.CX, (pu, pv)))
-    circuit.rz(angle, pv)
-    circuit.append(Gate(g.CX, (pu, pv)))
-
-
 class TwoQANLikeCompiler(Compiler):
     """Commutation-aware greedy scheduling with mapping-serving SWAPs."""
 
@@ -68,68 +54,12 @@ class TwoQANLikeCompiler(Compiler):
         coupling: CouplingGraph,
         num_logical: Optional[int] = None,
     ) -> CompilationResult:
-        num_logical = num_logical or blocks_num_qubits(blocks)
-        edges = extract_edges(blocks)
-        layout = greedy_interaction_layout(
-            num_logical, coupling, [(u, v) for u, v, _ in edges]
-        )
-        initial = layout.copy()
-        circuit = QuantumCircuit(coupling.num_qubits, name="2qan-like")
-        tracker = SwapTracker(circuit, layout)
-        if self.include_wrappers:
-            for logical in range(num_logical):
-                circuit.h(layout.physical(logical))
-
-        remaining = list(range(len(edges)))
-        distance = coupling.distance_matrix()
-        while remaining:
-            progressed = True
-            while progressed:
-                progressed = False
-                for index in list(remaining):
-                    u, v, angle = edges[index]
-                    pu, pv = layout.physical(u), layout.physical(v)
-                    if coupling.are_connected(pu, pv):
-                        _emit_zz(circuit, pu, pv, angle)
-                        remaining.remove(index)
-                        progressed = True
-            if not remaining:
-                break
-            # Everything left is distant: pick the closest edge and insert
-            # the single SWAP that minimizes the remaining total distance.
-            def edge_distance(index: int) -> int:
-                u, v, _ = edges[index]
-                return int(distance[layout.physical(u), layout.physical(v)])
-
-            target = min(remaining, key=lambda i: (edge_distance(i), i))
-            u, v, _ = edges[target]
-            pu, pv = layout.physical(u), layout.physical(v)
-            path = coupling.shortest_path(pu, pv)
-            assert path is not None
-
-            def total_cost_after(swap: Tuple[int, int]) -> int:
-                layout.swap_physical(*swap)
-                cost = sum(edge_distance(i) for i in remaining)
-                layout.swap_physical(*swap)
-                return cost
-
-            candidates = [(pu, path[1]), (pv, path[-2])]
-            chosen = min(candidates, key=lambda s: (total_cost_after(s), s))
-            tracker.swap(*chosen)
-
-        if self.include_wrappers:
-            for logical in range(num_logical):
-                physical = layout.physical(logical)
-                circuit.rx(0.3, physical)
-                circuit.measure(physical)
-
-        return CompilationResult(
-            circuit=circuit,
-            initial_layout=initial,
-            final_layout=layout,
-            num_swaps=tracker.num_swaps,
-            logical_cnots=logical_cnot_count(blocks),
-            compiler_name=self.name,
+        return self.run_pipeline(
+            "2qan-like",
+            {"include_wrappers": self.include_wrappers},
+            blocks,
+            coupling,
+            num_logical,
         )
 
 
@@ -147,127 +77,10 @@ class TetrisQAOACompiler(Compiler):
         coupling: CouplingGraph,
         num_logical: Optional[int] = None,
     ) -> CompilationResult:
-        num_logical = num_logical or blocks_num_qubits(blocks)
-        edges = extract_edges(blocks)
-        layout = greedy_interaction_layout(
-            num_logical, coupling, [(u, v) for u, v, _ in edges]
-        )
-        initial = layout.copy()
-        circuit = QuantumCircuit(coupling.num_qubits, name="tetris-qaoa")
-        tracker = SwapTracker(circuit, layout)
-        if self.include_wrappers:
-            for logical in range(num_logical):
-                circuit.h(layout.physical(logical))
-
-        pending: Dict[int, Set[int]] = {q: set() for q in range(num_logical)}
-        for index, (u, v, _) in enumerate(edges):
-            pending[u].add(index)
-            pending[v].add(index)
-        remaining = list(range(len(edges)))
-        retired: Set[int] = set()
-        bridge_overhead = 0
-        distance = coupling.distance_matrix()
-
-        def finish_edge(index: int) -> None:
-            remaining.remove(index)
-            u, v, _ = edges[index]
-            for logical in (u, v):
-                pending[logical].discard(index)
-                # Qubit reuse needs the measure+reset wrappers; without them
-                # the slot cannot be certified |0>, so keep it occupied.
-                if (
-                    self.include_wrappers
-                    and not pending[logical]
-                    and logical not in retired
-                ):
-                    retired.add(logical)
-                    physical = layout.physical(logical)
-                    circuit.rx(0.3, physical)
-                    circuit.measure(physical)
-                    circuit.reset(physical)
-                    layout.remove(logical)
-
-        while remaining:
-            progressed = True
-            while progressed:
-                progressed = False
-                for index in list(remaining):
-                    u, v, angle = edges[index]
-                    pu, pv = layout.physical(u), layout.physical(v)
-                    if coupling.are_connected(pu, pv):
-                        _emit_zz(circuit, pu, pv, angle)
-                        finish_edge(index)
-                        progressed = True
-            if not remaining:
-                break
-
-            def edge_distance(index: int) -> int:
-                u, v, _ = edges[index]
-                return int(distance[layout.physical(u), layout.physical(v)])
-
-            target = min(remaining, key=lambda i: (edge_distance(i), i))
-            u, v, angle = edges[target]
-            pu, pv = layout.physical(u), layout.physical(v)
-            path = coupling.shortest_path(pu, pv)
-            assert path is not None
-            # Bridges may detour through free |0> qubits: 2 CNOTs per hop
-            # still beats a SWAP route (3 per hop) for modest detours.
-            occupied = {
-                node
-                for node in range(coupling.num_qubits)
-                if layout.is_occupied(node) and node not in (pu, pv)
-            }
-            free_path = coupling.shortest_path(pu, pv, blocked=occupied)
-            swap_cost = 3 * (len(path) - 2) + 2
-            bridge_viable = (
-                free_path is not None and 2 * (len(free_path) - 1) <= swap_cost
-            )
-            # Lookahead (Sec. V-C): if a SWAP would also shorten *other*
-            # pending edges, prefer it; otherwise bridge when viable.
-            others = [i for i in remaining if i != target]
-
-            def future_gain(swap: Tuple[int, int]) -> int:
-                before = sum(edge_distance(i) for i in others)
-                layout.swap_physical(*swap)
-                after = sum(edge_distance(i) for i in others)
-                layout.swap_physical(*swap)
-                return before - after
-
-            swap_helps_future = others and max(
-                future_gain((pu, path[1])), future_gain((pv, path[-2]))
-            ) > 0
-            if bridge_viable and not swap_helps_future:
-                # Bridge: endpoints stay put, ancillas restored by the
-                # mirrored chain.
-                chain = [
-                    Gate(g.CX, (free_path[i], free_path[i + 1]))
-                    for i in range(len(free_path) - 1)
-                ]
-                for gate in chain:
-                    circuit.append(gate)
-                circuit.rz(angle, free_path[-1])
-                for gate in reversed(chain):
-                    circuit.append(gate)
-                bridge_overhead += 2 * (len(free_path) - 2)
-                finish_edge(target)
-                continue
-
-            def total_cost_after(swap: Tuple[int, int]) -> int:
-                layout.swap_physical(*swap)
-                cost = sum(edge_distance(i) for i in remaining)
-                layout.swap_physical(*swap)
-                return cost
-
-            candidates = [(pu, path[1]), (pv, path[-2])]
-            chosen = min(candidates, key=lambda s: (total_cost_after(s), s))
-            tracker.swap(*chosen)
-
-        return CompilationResult(
-            circuit=circuit,
-            initial_layout=initial,
-            final_layout=layout,
-            num_swaps=tracker.num_swaps,
-            bridge_overhead_cnots=bridge_overhead,
-            logical_cnots=logical_cnot_count(blocks),
-            compiler_name=self.name,
+        return self.run_pipeline(
+            "tetris-qaoa",
+            {"include_wrappers": self.include_wrappers},
+            blocks,
+            coupling,
+            num_logical,
         )

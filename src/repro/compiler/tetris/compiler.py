@@ -4,31 +4,23 @@ Pipeline: lower blocks to Tetris-IR -> choose an initial layout -> schedule
 blocks (lookahead or similarity-only) -> synthesize each block with
 Algorithm 1 (root clustering, scored leaf attachment, bridging) -> the
 caller applies the O3-style cleanup pass.
+
+Since the pipeline refactor the stages live as passes
+(:class:`repro.pipeline.passes.LowerTetrisIRPass`,
+:class:`~repro.pipeline.passes.InteractionLayoutPass`,
+:class:`~repro.pipeline.passes.TetrisSynthesisPass`) registered as the
+``tetris`` pipeline; this class is the parameter-holding wrapper.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ...circuit.circuit import QuantumCircuit
 from ...hardware.coupling import CouplingGraph
 from ...pauli.block import PauliBlock
-from ...routing.layout import Layout, greedy_interaction_layout
-from ..base import (
-    CompilationResult,
-    Compiler,
-    blocks_num_qubits,
-    interaction_pairs,
-    logical_cnot_count,
-)
-from ..mapping_utils import SwapTracker
-from .ir import lower_blocks
-from .scheduler import (
-    DEFAULT_LOOKAHEAD,
-    LookaheadScheduler,
-    SimilarityScheduler,
-)
-from .synthesis import DEFAULT_SWAP_WEIGHT, synthesize_tetris_block, try_block
+from ..base import CompilationResult, Compiler
+from .scheduler import DEFAULT_LOOKAHEAD
+from .synthesis import DEFAULT_SWAP_WEIGHT
 
 
 class TetrisCompiler(Compiler):
@@ -69,68 +61,15 @@ class TetrisCompiler(Compiler):
         coupling: CouplingGraph,
         num_logical: Optional[int] = None,
     ) -> CompilationResult:
-        num_logical = num_logical or blocks_num_qubits(blocks)
-        ir_blocks = lower_blocks(blocks, sort_strings=self.sort_strings)
-        layout = greedy_interaction_layout(
-            num_logical, coupling, interaction_pairs(blocks)
+        return self.run_pipeline(
+            "tetris",
+            {
+                "swap_weight": self.swap_weight,
+                "lookahead": self.lookahead,
+                "enable_bridging": self.enable_bridging,
+                "sort_strings": self.sort_strings,
+            },
+            blocks,
+            coupling,
+            num_logical,
         )
-        initial = layout.copy()
-        circuit = QuantumCircuit(coupling.num_qubits, name="tetris")
-        tracker = SwapTracker(circuit, layout)
-
-        if self.lookahead > 0:
-            def trial_cost(candidate, live_layout):
-                return try_block(
-                    candidate,
-                    live_layout,
-                    coupling,
-                    swap_weight=self.swap_weight,
-                    enable_bridging=self.enable_bridging,
-                )
-
-            scheduler = LookaheadScheduler(
-                ir_blocks, lookahead=self.lookahead, cost_of=trial_cost
-            )
-        else:
-            scheduler = SimilarityScheduler(ir_blocks)
-
-        index_of = {id(ir): position for position, ir in enumerate(ir_blocks)}
-        block_order = []
-        bridge_overhead = 0
-        while scheduler:
-            ir = scheduler.pick_next(layout, coupling)
-            block_order.append(index_of[id(ir)])
-            stats = synthesize_tetris_block(
-                ir,
-                tracker,
-                coupling,
-                swap_weight=self.swap_weight,
-                enable_bridging=self.enable_bridging,
-            )
-            bridge_overhead += stats.bridge_overhead_cnots
-
-        result = CompilationResult(
-            circuit=circuit,
-            initial_layout=initial,
-            final_layout=layout,
-            num_swaps=tracker.num_swaps,
-            bridge_overhead_cnots=bridge_overhead,
-            logical_cnots=logical_cnot_count(blocks),
-            compiler_name=self.name,
-        )
-        result.extra["block_order"] = block_order
-        result.extra["string_orders"] = [
-            list(_original_string_order(blocks[i], ir_blocks[i])) for i in block_order
-        ]
-        return result
-
-
-def _original_string_order(block, ir) -> list:
-    """Map the IR's (possibly re-sorted) strings back to block indices."""
-    pool = {}
-    for position, string in enumerate(block.strings):
-        pool.setdefault(string, []).append(position)
-    order = []
-    for string in ir.strings:
-        order.append(pool[string].pop(0))
-    return order

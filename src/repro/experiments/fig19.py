@@ -2,15 +2,20 @@
 
 CNOT count and depth as the scheduler's lookahead K sweeps 1..22.  Paper
 shape: K=1 worst, fast drop, plateau by K~10 (hence the default).
+
+The sweep runs on pipeline variant specs (``tetris:k=<K>``) rather than
+hand-constructed compiler objects, so each point also reports where the
+time went: the ``synth_seconds`` column is the ``synth-tetris`` pass's
+wall time from the per-pass profile (the lookahead trial placements all
+happen there).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..analysis import compile_and_measure
-from ..compiler import TetrisCompiler
 from ..hardware import resolve_device
+from ..pipeline import run_pipeline
 from .common import check_scale, workload
 
 DEFAULT_SWEEP = (1, 4, 7, 10, 13, 16, 19, 22)
@@ -30,13 +35,22 @@ def run(
     for name in benches:
         blocks = workload(name, "JW", scale)
         for k in sweep:
-            record = compile_and_measure(TetrisCompiler(lookahead=k), blocks, coupling)
+            result = run_pipeline(
+                f"tetris:k={k}", blocks, coupling, profile=True
+            )
+            metrics = result.metrics()
+            synth_seconds = sum(
+                p.seconds
+                for p in result.profile.passes
+                if p.name == "synth-tetris"
+            )
             rows.append(
                 {
                     "bench": name,
                     "K": k,
-                    "cnot": record.metrics.cnot_gates,
-                    "depth": record.metrics.depth,
+                    "cnot": metrics.cnot_gates,
+                    "depth": metrics.depth,
+                    "synth_seconds": round(synth_seconds, 3),
                 }
             )
     return rows

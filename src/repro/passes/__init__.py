@@ -1,4 +1,21 @@
-"""Circuit optimization passes (gate cancellation, consolidation)."""
+"""Circuit-level optimization: gate cancellation and 1Q consolidation.
+
+The post-compilation cleanup the paper's evaluation applies to every
+compiler's output, standing in for "Qiskit O3" / "T|Ket> O2":
+
+- :func:`cancel_gates` — peephole cancellation to fixpoint: adjacent
+  self-inverse pairs (CNOT/H/X/...), rotation merging, and
+  commutation-aware scanning across intervening gates.
+- :func:`consolidate_one_qubit_runs` — collapse every run of 1Q gates
+  into a single U3 via ZYZ decomposition.
+- :func:`optimize_o3` / :func:`optimize_light` /
+  :func:`optimize_with_report` — the named combinations of the above
+  (see :mod:`repro.passes.pipeline`).
+
+These operate on plain circuits.  For staged, per-pass-profiled
+compilation — where these same stages run as the cleanup tail after
+synthesis and routing — see :mod:`repro.pipeline`.
+"""
 
 from .consolidate import consolidate_one_qubit_runs
 from .peephole import cancel_gates

@@ -4,6 +4,14 @@
   U3; this plays the role of "Qiskit O3" in the evaluation.
 - :func:`optimize_light` — cancellation only (no basis consolidation); this
   plays the role of "T|Ket> O2"-style cleanup.
+
+These are the eager-function spellings; the same stages are available as
+composable, individually-profiled passes
+(:class:`repro.pipeline.passes.DecomposeSwapsPass`,
+:class:`~repro.pipeline.passes.CancelGatesPass`,
+:class:`~repro.pipeline.passes.ConsolidatePass`) — the cleanup tail
+:func:`repro.pipeline.registry.cleanup_passes` appends to every built
+pipeline.
 """
 
 from __future__ import annotations
@@ -42,16 +50,23 @@ def optimize_light(circuit: QuantumCircuit) -> QuantumCircuit:
 
 
 def optimize_with_report(circuit: QuantumCircuit, level: int = 3):
-    """Optimize and report CNOT/1Q deltas.  ``level``: 0 none, 1 light, 3 full."""
+    """Optimize and report CNOT/1Q deltas.  ``level``: 0 none, 1 light, 3 full.
+
+    SWAPs are decomposed exactly once: the decomposed circuit used for
+    the before-counts is the same one the cancellation/consolidation
+    stages run on (decomposition is deterministic, so this is purely a
+    work saving over calling :func:`optimize_light` / :func:`optimize_o3`
+    on the original).
+    """
     decomposed = circuit.decompose_swaps()
     before_cnot = decomposed.count_ops().get(g.CX, 0)
     before_oneq = decomposed.num_one_qubit_gates()
     if level <= 0:
         optimized = decomposed
     elif level < 3:
-        optimized = optimize_light(circuit)
+        optimized = cancel_gates(decomposed)
     else:
-        optimized = optimize_o3(circuit)
+        optimized = consolidate_one_qubit_runs(cancel_gates(decomposed))
     report = OptimizationReport(
         cnots_before=before_cnot,
         cnots_after=optimized.count_ops().get(g.CX, 0),

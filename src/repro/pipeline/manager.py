@@ -1,0 +1,176 @@
+"""The pass manager: run a pass sequence, instrument it, finalize.
+
+:class:`PassManager` owns a named list of passes.  :meth:`PassManager.run`
+seeds a :class:`~repro.pipeline.base.PropertySet` with the workload and
+device, validates each pass's ``requires`` declaration, times every pass
+(always), snapshots the circuit around every pass (only when
+``profile=True`` — snapshots cost one linear scan each), and assembles
+the final :class:`~repro.compiler.base.CompilationResult` from the
+well-known state keys.
+
+Wall-clock accounting mirrors the pre-pipeline architecture:
+``compile_seconds`` is the summed time of ``stage="synthesis"`` passes
+and ``optimize_seconds`` of ``stage="optimize"`` passes, so service rows
+stay comparable across the refactor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..circuit.metrics import CircuitMetrics
+from ..compiler.base import (
+    CompilationResult,
+    blocks_num_qubits,
+    logical_cnot_count,
+)
+from ..hardware.coupling import CouplingGraph
+from ..pauli.block import PauliBlock
+from .base import Pass, PipelineError, PropertySet
+from .profile import PassProfile, PipelineProfile, snapshot
+
+
+@dataclass
+class PipelineRun:
+    """Everything one :meth:`PassManager.run` produced."""
+
+    state: PropertySet
+    result: CompilationResult
+    profile: Optional[PipelineProfile]
+    compile_seconds: float
+    optimize_seconds: float
+
+    def metrics(self) -> CircuitMetrics:
+        """Post-run metrics with the synthesis-stage wall time attached
+        (the same shape :func:`repro.analysis.compile_and_measure` returns)."""
+        metrics = self.result.metrics()
+        metrics.compile_seconds = self.compile_seconds
+        return metrics
+
+
+class PassManager:
+    """A named, ordered pass sequence over one shared property set.
+
+    Compose directly::
+
+        from repro.pipeline import PassManager, passes as P
+
+        manager = PassManager(
+            [P.LowerTetrisIRPass(), P.InteractionLayoutPass(),
+             P.TetrisSynthesisPass(), P.DecomposeSwapsPass(),
+             P.CancelGatesPass()],
+            name="tetris+o1",
+        )
+        run = manager.run(blocks, coupling, profile=True)
+        print(run.metrics().cnot_gates, run.profile.rows())
+
+    or build from a spec string via
+    :func:`repro.pipeline.registry.build_pipeline`.
+    """
+
+    def __init__(self, passes: Iterable[Pass] = (), name: str = "custom"):
+        self.passes: List[Pass] = list(passes)
+        self.name = name
+
+    def append(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def extend(self, passes: Iterable[Pass]) -> "PassManager":
+        self.passes.extend(passes)
+        return self
+
+    def pass_names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def __repr__(self) -> str:
+        return f"PassManager({self.name!r}, {self.pass_names()})"
+
+    def run(
+        self,
+        blocks: Sequence[PauliBlock],
+        coupling: CouplingGraph,
+        num_logical: Optional[int] = None,
+        profile: bool = False,
+    ) -> PipelineRun:
+        """Execute the sequence over ``blocks`` on ``coupling``.
+
+        Raises :class:`~repro.pipeline.base.PipelineError` when a pass's
+        required property is missing or the sequence never produced a
+        circuit.
+        """
+        if not self.passes:
+            raise PipelineError(f"pipeline {self.name!r} has no passes")
+        state = PropertySet(
+            blocks=list(blocks),
+            coupling=coupling,
+            num_logical=num_logical or blocks_num_qubits(blocks),
+            extra={},
+        )
+        profiles: List[PassProfile] = []
+        compile_seconds = 0.0
+        optimize_seconds = 0.0
+        # The circuit only changes inside passes, so pass i+1's "before"
+        # snapshot is pass i's "after" — carry it forward instead of
+        # re-scanning (snapshots cost a gate scan + depth computation).
+        carried = snapshot(state.get("circuit")) if profile else None
+        for pass_ in self.passes:
+            for key in pass_.requires:
+                state.require(key, pass_.name)
+            before = carried
+            start = time.perf_counter()
+            pass_.run(state)
+            elapsed = time.perf_counter() - start
+            if pass_.stage == "optimize":
+                optimize_seconds += elapsed
+            else:
+                compile_seconds += elapsed
+            if profile:
+                after = snapshot(state.get("circuit"))
+                carried = after
+                profiles.append(
+                    PassProfile(
+                        name=pass_.name,
+                        kind=pass_.kind,
+                        stage=pass_.stage,
+                        seconds=elapsed,
+                        cnot_before=before.cnot,
+                        cnot_after=after.cnot,
+                        one_qubit_before=before.one_qubit,
+                        one_qubit_after=after.one_qubit,
+                        depth_before=before.depth,
+                        depth_after=after.depth,
+                    )
+                )
+        if state.get("circuit") is None:
+            raise PipelineError(
+                f"pipeline {self.name!r} produced no circuit — it needs at "
+                f"least one synthesis pass (ran: {self.pass_names()})"
+            )
+        result = CompilationResult(
+            circuit=state["circuit"],
+            initial_layout=state.get("initial_layout"),
+            final_layout=state.get("layout"),
+            num_swaps=state.get("num_swaps", 0),
+            bridge_overhead_cnots=state.get("bridge_overhead_cnots", 0),
+            logical_cnots=logical_cnot_count(state["blocks"]),
+            compile_seconds=compile_seconds,
+            compiler_name=self.name,
+            extra=state.get("extra", {}),
+        )
+        return PipelineRun(
+            state=state,
+            result=result,
+            profile=(
+                PipelineProfile(pipeline=self.name, passes=profiles)
+                if profile
+                else None
+            ),
+            compile_seconds=compile_seconds,
+            optimize_seconds=optimize_seconds,
+        )

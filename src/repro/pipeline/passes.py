@@ -1,0 +1,531 @@
+"""The concrete passes every built-in pipeline is assembled from.
+
+Layout/ordering/lowering analyses, the per-compiler synthesis
+transformations (the driver loops that used to live inside each
+monolithic ``Compiler.compile``), generic SWAP routing, and the
+O3-style cleanup stages.  Each pass is independently registered in
+:data:`repro.pipeline.registry.PASSES`, so custom spec strings
+(``"order-similarity,synth-single-leaf,layout,route"``) can recombine
+them freely.
+
+Synthesis passes preserve the exact gate streams of the pre-pipeline
+compilers — regression-pinned by ``tests/test_pipeline.py`` against
+gate-sequence hashes recorded before the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..circuit import gate as g
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gate import Gate
+from ..compiler.base import interaction_pairs
+from ..compiler.mapping_utils import SwapTracker
+from ..passes.consolidate import consolidate_one_qubit_runs
+from ..passes.peephole import cancel_gates
+from ..routing.layout import greedy_interaction_layout
+from ..routing.router import route_circuit
+from ..synthesis.chain import synthesize_chain
+from .base import AnalysisPass, PropertySet, TransformationPass
+
+DEFAULT_SWAP_WEIGHT = 3.0
+DEFAULT_LOOKAHEAD = 10
+
+
+# ---------------------------------------------------------------------------
+# analysis passes
+# ---------------------------------------------------------------------------
+
+class InteractionLayoutPass(AnalysisPass):
+    """Greedy interaction-graph placement of logical onto physical qubits.
+
+    Provides ``layout`` (live) and ``initial_layout`` (frozen copy)."""
+
+    name = "layout"
+
+    def run(self, state: PropertySet) -> None:
+        layout = greedy_interaction_layout(
+            state["num_logical"],
+            state["coupling"],
+            interaction_pairs(state["blocks"]),
+        )
+        state["layout"] = layout
+        state["initial_layout"] = layout.copy()
+
+
+class LowerTetrisIRPass(AnalysisPass):
+    """Lower Pauli blocks to Tetris IR (root/leaf split, Gray ordering).
+
+    Provides ``ir_blocks``."""
+
+    name = "lower-ir"
+
+    def __init__(self, sort_strings: bool = True) -> None:
+        self.sort_strings = sort_strings
+
+    def run(self, state: PropertySet) -> None:
+        from ..compiler.tetris.ir import lower_blocks
+
+        state["ir_blocks"] = lower_blocks(
+            state["blocks"], sort_strings=self.sort_strings
+        )
+
+
+class SimilarityOrderPass(AnalysisPass):
+    """Greedy nearest-neighbour block chain over similarity (Eq. 1).
+
+    Provides ``block_order`` (also recorded in ``extra`` for replay
+    verification)."""
+
+    name = "order-similarity"
+
+    def run(self, state: PropertySet) -> None:
+        from ..compiler.paulihedral import similarity_chain_order
+
+        order = similarity_chain_order(state["blocks"])
+        state["block_order"] = order
+        state["extra"]["block_order"] = order
+
+
+class ExtractEdgesPass(AnalysisPass):
+    """Validate the QAOA shape and extract ``(u, v, angle)`` ZZ terms.
+
+    Provides ``edges``."""
+
+    name = "extract-edges"
+
+    def run(self, state: PropertySet) -> None:
+        from ..compiler.qaoa_2qan import extract_edges
+
+        state["edges"] = extract_edges(state["blocks"])
+
+
+# ---------------------------------------------------------------------------
+# synthesis passes (one per compiler family)
+# ---------------------------------------------------------------------------
+
+class TetrisSynthesisPass(TransformationPass):
+    """Tetris block scheduling + Algorithm-1 synthesis (paper Fig. 11).
+
+    Schedule and synthesis are one pass because they are genuinely
+    coupled: the lookahead scheduler trial-places each candidate block
+    against the *live* layout that the previous block's synthesis just
+    mutated."""
+
+    name = "synth-tetris"
+    requires = ("ir_blocks", "layout")
+
+    def __init__(
+        self,
+        swap_weight: float = DEFAULT_SWAP_WEIGHT,
+        lookahead: int = DEFAULT_LOOKAHEAD,
+        enable_bridging: bool = True,
+    ) -> None:
+        self.swap_weight = swap_weight
+        self.lookahead = lookahead
+        self.enable_bridging = enable_bridging
+
+    def run(self, state: PropertySet) -> None:
+        from ..compiler.tetris.scheduler import (
+            LookaheadScheduler,
+            SimilarityScheduler,
+        )
+        from ..compiler.tetris.synthesis import synthesize_tetris_block, try_block
+
+        coupling = state["coupling"]
+        layout = state["layout"]
+        ir_blocks = state["ir_blocks"]
+        circuit = QuantumCircuit(coupling.num_qubits, name="tetris")
+        tracker = SwapTracker(circuit, layout)
+
+        if self.lookahead > 0:
+            def trial_cost(candidate, live_layout):
+                return try_block(
+                    candidate,
+                    live_layout,
+                    coupling,
+                    swap_weight=self.swap_weight,
+                    enable_bridging=self.enable_bridging,
+                )
+
+            scheduler = LookaheadScheduler(
+                ir_blocks, lookahead=self.lookahead, cost_of=trial_cost
+            )
+        else:
+            scheduler = SimilarityScheduler(ir_blocks)
+
+        index_of = {id(ir): position for position, ir in enumerate(ir_blocks)}
+        block_order = []
+        bridge_overhead = 0
+        while scheduler:
+            ir = scheduler.pick_next(layout, coupling)
+            block_order.append(index_of[id(ir)])
+            stats = synthesize_tetris_block(
+                ir,
+                tracker,
+                coupling,
+                swap_weight=self.swap_weight,
+                enable_bridging=self.enable_bridging,
+            )
+            bridge_overhead += stats.bridge_overhead_cnots
+
+        blocks = state["blocks"]
+        state["circuit"] = circuit
+        state["num_swaps"] = state.get("num_swaps", 0) + tracker.num_swaps
+        state["bridge_overhead_cnots"] = (
+            state.get("bridge_overhead_cnots", 0) + bridge_overhead
+        )
+        state["extra"]["block_order"] = block_order
+        state["extra"]["string_orders"] = [
+            list(_original_string_order(blocks[i], ir_blocks[i]))
+            for i in block_order
+        ]
+
+
+def _original_string_order(block, ir) -> list:
+    """Map the IR's (possibly re-sorted) strings back to block indices."""
+    pool = {}
+    for position, string in enumerate(block.strings):
+        pool.setdefault(string, []).append(position)
+    order = []
+    for string in ir.strings:
+        order.append(pool[string].pop(0))
+    return order
+
+
+class SpanningTreeSynthesisPass(TransformationPass):
+    """Paulihedral-style SWAP-centric per-string spanning-tree emission."""
+
+    name = "synth-spanning-tree"
+    requires = ("block_order", "layout")
+
+    def __init__(self, sort_strings: bool = True) -> None:
+        self.sort_strings = sort_strings
+
+    def run(self, state: PropertySet) -> None:
+        from ..compiler.paulihedral import emit_string_over_spanning_tree
+
+        coupling = state["coupling"]
+        blocks = state["blocks"]
+        circuit = QuantumCircuit(coupling.num_qubits, name="paulihedral")
+        tracker = SwapTracker(circuit, state["layout"])
+        for index in state["block_order"]:
+            block = blocks[index]
+            pairs = list(zip(block.strings, block.weights))
+            if self.sort_strings and block.pairwise_commuting():
+                pairs.sort(key=lambda item: item[0].ops)
+            for string, weight in pairs:
+                emit_string_over_spanning_tree(
+                    tracker, coupling, string, block.angle * weight
+                )
+        state["circuit"] = circuit
+        state["num_swaps"] = state.get("num_swaps", 0) + tracker.num_swaps
+
+
+class SingleLeafSynthesisPass(TransformationPass):
+    """Hardware-oblivious single-leaf-tree logical synthesis (max-cancel).
+
+    Produces a *logical* circuit; pair with ``layout`` + ``route``."""
+
+    name = "synth-single-leaf"
+    requires = ("block_order",)
+
+    def __init__(self, sort_strings: bool = True) -> None:
+        self.sort_strings = sort_strings
+
+    def run(self, state: PropertySet) -> None:
+        from ..compiler.max_cancel import max_cancel_logical_circuit
+
+        blocks = state["blocks"]
+        ordered = [blocks[index] for index in state["block_order"]]
+        state["circuit"] = max_cancel_logical_circuit(
+            ordered, sort_strings=self.sort_strings
+        )
+
+
+class ChainSynthesisPass(TransformationPass):
+    """T|Ket>-style independent CNOT-ladder synthesis per Pauli string.
+
+    Produces a *logical* circuit; pair with ``layout`` + ``route``."""
+
+    name = "synth-chain"
+
+    def run(self, state: PropertySet) -> None:
+        logical = QuantumCircuit(state["num_logical"], name="tket-like")
+        for block in state["blocks"]:
+            for string, weight in zip(block.strings, block.weights):
+                if not string.is_identity():
+                    synthesize_chain(string, block.angle * weight, logical)
+        state["circuit"] = logical
+
+
+class CommutingScheduleSynthesisPass(TransformationPass):
+    """2QAN-style commutation-aware greedy scheduling with mapping-serving
+    SWAPs (QAOA cost layers only)."""
+
+    name = "synth-2qan"
+    requires = ("edges", "layout")
+
+    def __init__(self, include_wrappers: bool = False) -> None:
+        self.include_wrappers = include_wrappers
+
+    def run(self, state: PropertySet) -> None:
+        coupling = state["coupling"]
+        layout = state["layout"]
+        edges = state["edges"]
+        num_logical = state["num_logical"]
+        circuit = QuantumCircuit(coupling.num_qubits, name="2qan-like")
+        tracker = SwapTracker(circuit, layout)
+        if self.include_wrappers:
+            for logical in range(num_logical):
+                circuit.h(layout.physical(logical))
+
+        remaining = list(range(len(edges)))
+        distance = coupling.distance_matrix()
+        while remaining:
+            progressed = True
+            while progressed:
+                progressed = False
+                for index in list(remaining):
+                    u, v, angle = edges[index]
+                    pu, pv = layout.physical(u), layout.physical(v)
+                    if coupling.are_connected(pu, pv):
+                        _emit_zz(circuit, pu, pv, angle)
+                        remaining.remove(index)
+                        progressed = True
+            if not remaining:
+                break
+            # Everything left is distant: pick the closest edge and insert
+            # the single SWAP that minimizes the remaining total distance.
+            def edge_distance(index: int) -> int:
+                u, v, _ = edges[index]
+                return int(distance[layout.physical(u), layout.physical(v)])
+
+            target = min(remaining, key=lambda i: (edge_distance(i), i))
+            u, v, _ = edges[target]
+            pu, pv = layout.physical(u), layout.physical(v)
+            path = coupling.shortest_path(pu, pv)
+            assert path is not None
+
+            def total_cost_after(swap: Tuple[int, int]) -> int:
+                layout.swap_physical(*swap)
+                cost = sum(edge_distance(i) for i in remaining)
+                layout.swap_physical(*swap)
+                return cost
+
+            candidates = [(pu, path[1]), (pv, path[-2])]
+            chosen = min(candidates, key=lambda s: (total_cost_after(s), s))
+            tracker.swap(*chosen)
+
+        if self.include_wrappers:
+            for logical in range(num_logical):
+                physical = layout.physical(logical)
+                circuit.rx(0.3, physical)
+                circuit.measure(physical)
+
+        state["circuit"] = circuit
+        state["num_swaps"] = state.get("num_swaps", 0) + tracker.num_swaps
+
+
+class QAOABridgingSynthesisPass(TransformationPass):
+    """Tetris' QAOA path: SWAP-vs-bridge lookahead plus mid-circuit
+    measurement to retire finished qubits (paper Sec. V-C)."""
+
+    name = "synth-qaoa-reuse"
+    requires = ("edges", "layout")
+
+    def __init__(self, include_wrappers: bool = False) -> None:
+        self.include_wrappers = include_wrappers
+
+    def run(self, state: PropertySet) -> None:
+        coupling = state["coupling"]
+        layout = state["layout"]
+        edges = state["edges"]
+        num_logical = state["num_logical"]
+        circuit = QuantumCircuit(coupling.num_qubits, name="tetris-qaoa")
+        tracker = SwapTracker(circuit, layout)
+        if self.include_wrappers:
+            for logical in range(num_logical):
+                circuit.h(layout.physical(logical))
+
+        pending: Dict[int, Set[int]] = {q: set() for q in range(num_logical)}
+        for index, (u, v, _) in enumerate(edges):
+            pending[u].add(index)
+            pending[v].add(index)
+        remaining = list(range(len(edges)))
+        retired: Set[int] = set()
+        bridge_overhead = 0
+        distance = coupling.distance_matrix()
+
+        def finish_edge(index: int) -> None:
+            remaining.remove(index)
+            u, v, _ = edges[index]
+            for logical in (u, v):
+                pending[logical].discard(index)
+                # Qubit reuse needs the measure+reset wrappers; without them
+                # the slot cannot be certified |0>, so keep it occupied.
+                if (
+                    self.include_wrappers
+                    and not pending[logical]
+                    and logical not in retired
+                ):
+                    retired.add(logical)
+                    physical = layout.physical(logical)
+                    circuit.rx(0.3, physical)
+                    circuit.measure(physical)
+                    circuit.reset(physical)
+                    layout.remove(logical)
+
+        while remaining:
+            progressed = True
+            while progressed:
+                progressed = False
+                for index in list(remaining):
+                    u, v, angle = edges[index]
+                    pu, pv = layout.physical(u), layout.physical(v)
+                    if coupling.are_connected(pu, pv):
+                        _emit_zz(circuit, pu, pv, angle)
+                        finish_edge(index)
+                        progressed = True
+            if not remaining:
+                break
+
+            def edge_distance(index: int) -> int:
+                u, v, _ = edges[index]
+                return int(distance[layout.physical(u), layout.physical(v)])
+
+            target = min(remaining, key=lambda i: (edge_distance(i), i))
+            u, v, angle = edges[target]
+            pu, pv = layout.physical(u), layout.physical(v)
+            path = coupling.shortest_path(pu, pv)
+            assert path is not None
+            # Bridges may detour through free |0> qubits: 2 CNOTs per hop
+            # still beats a SWAP route (3 per hop) for modest detours.
+            occupied = {
+                node
+                for node in range(coupling.num_qubits)
+                if layout.is_occupied(node) and node not in (pu, pv)
+            }
+            free_path = coupling.shortest_path(pu, pv, blocked=occupied)
+            swap_cost = 3 * (len(path) - 2) + 2
+            bridge_viable = (
+                free_path is not None and 2 * (len(free_path) - 1) <= swap_cost
+            )
+            # Lookahead (Sec. V-C): if a SWAP would also shorten *other*
+            # pending edges, prefer it; otherwise bridge when viable.
+            others = [i for i in remaining if i != target]
+
+            def future_gain(swap: Tuple[int, int]) -> int:
+                before = sum(edge_distance(i) for i in others)
+                layout.swap_physical(*swap)
+                after = sum(edge_distance(i) for i in others)
+                layout.swap_physical(*swap)
+                return before - after
+
+            swap_helps_future = others and max(
+                future_gain((pu, path[1])), future_gain((pv, path[-2]))
+            ) > 0
+            if bridge_viable and not swap_helps_future:
+                # Bridge: endpoints stay put, ancillas restored by the
+                # mirrored chain.
+                chain = [
+                    Gate(g.CX, (free_path[i], free_path[i + 1]))
+                    for i in range(len(free_path) - 1)
+                ]
+                for gate in chain:
+                    circuit.append(gate)
+                circuit.rz(angle, free_path[-1])
+                for gate in reversed(chain):
+                    circuit.append(gate)
+                bridge_overhead += 2 * (len(free_path) - 2)
+                finish_edge(target)
+                continue
+
+            def total_cost_after(swap: Tuple[int, int]) -> int:
+                layout.swap_physical(*swap)
+                cost = sum(edge_distance(i) for i in remaining)
+                layout.swap_physical(*swap)
+                return cost
+
+            candidates = [(pu, path[1]), (pv, path[-2])]
+            chosen = min(candidates, key=lambda s: (total_cost_after(s), s))
+            tracker.swap(*chosen)
+
+        state["circuit"] = circuit
+        state["num_swaps"] = state.get("num_swaps", 0) + tracker.num_swaps
+        state["bridge_overhead_cnots"] = (
+            state.get("bridge_overhead_cnots", 0) + bridge_overhead
+        )
+
+
+def _emit_zz(circuit: QuantumCircuit, pu: int, pv: int, angle: float) -> None:
+    circuit.append(Gate(g.CX, (pu, pv)))
+    circuit.rz(angle, pv)
+    circuit.append(Gate(g.CX, (pu, pv)))
+
+
+# ---------------------------------------------------------------------------
+# routing and cleanup passes
+# ---------------------------------------------------------------------------
+
+class SwapRoutePass(TransformationPass):
+    """Generic SWAP routing of a logical circuit onto the device."""
+
+    name = "route"
+    requires = ("circuit", "layout")
+
+    def run(self, state: PropertySet) -> None:
+        routed = route_circuit(
+            state["circuit"], state["coupling"], state["layout"]
+        )
+        state["circuit"] = routed.circuit
+        state["initial_layout"] = routed.initial_layout
+        state["layout"] = routed.final_layout
+        state["num_swaps"] = state.get("num_swaps", 0) + routed.num_swaps
+
+
+class CancelLogicalPass(TransformationPass):
+    """Pre-routing gate cancellation on the logical circuit (synthesis
+    stage — T|Ket>-O2 / PCOAST style)."""
+
+    name = "cancel-logical"
+    requires = ("circuit",)
+
+    def run(self, state: PropertySet) -> None:
+        state["circuit"] = cancel_gates(state["circuit"])
+
+
+class DecomposeSwapsPass(TransformationPass):
+    """Decompose every SWAP into 3 CNOTs (idempotent; metric-neutral
+    because all metrics already count SWAP as 3)."""
+
+    name = "decompose-swaps"
+    stage = "optimize"
+    requires = ("circuit",)
+
+    def run(self, state: PropertySet) -> None:
+        state["circuit"] = state["circuit"].decompose_swaps()
+
+
+class CancelGatesPass(TransformationPass):
+    """Peephole gate cancellation to fixpoint (the Qiskit-O3 stand-in's
+    cancellation stage)."""
+
+    name = "cancel"
+    stage = "optimize"
+    requires = ("circuit",)
+
+    def run(self, state: PropertySet) -> None:
+        state["circuit"] = cancel_gates(state["circuit"])
+
+
+class ConsolidatePass(TransformationPass):
+    """Consolidate 1Q-gate runs into U3 (the O3 basis consolidation)."""
+
+    name = "consolidate-1q"
+    stage = "optimize"
+    requires = ("circuit",)
+
+    def run(self, state: PropertySet) -> None:
+        state["circuit"] = consolidate_one_qubit_runs(state["circuit"])

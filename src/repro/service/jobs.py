@@ -15,6 +15,13 @@ devices through :data:`repro.hardware.families.DEVICE_FAMILIES`
 :class:`JobResult` carries the measured :class:`~repro.circuit.metrics.
 CircuitMetrics` and serializes to/from JSON, so results can cross process
 boundaries (the worker pool) and sessions (the on-disk cache) unchanged.
+
+Execution goes through the pass-pipeline layer: ``compiler`` specs are
+pipeline specs (``tetris``, ``tetris:no-bridge``, ``ph``, or a custom
+pass list — see :mod:`repro.pipeline.registry`), and :func:`run_job`
+can attach per-pass profiles.  Plain compiler names canonicalize exactly
+as before the pipeline refactor, so their content hashes — and the
+caches keyed by them — are unchanged.
 """
 
 from __future__ import annotations
@@ -41,6 +48,8 @@ from ..hardware.families import (  # noqa: F401  (device_names re-exported)
     device_names,
     resolve_device,
 )
+from ..pipeline.profile import PipelineProfile, profile_columns
+from ..pipeline.registry import resolve_compiler_spec
 from ..registry import Registry
 from ..workloads import (  # noqa: F401  (benchmark_names re-exported)
     SCALES,
@@ -139,7 +148,7 @@ class CompileJob:
         object.__setattr__(
             self, "params", tuple(sorted((str(k), v) for k, v in pairs))
         )
-        COMPILERS.canonical(self.compiler)  # raises on unknown names
+        resolve_compiler_spec(self.compiler)  # raises on unknown specs
         canonical_device_spec(self.device)  # raises on unknown/malformed specs
         if ":" in self.bench:
             resolve_workload(self.bench)  # namespaced benches validate eagerly
@@ -172,10 +181,16 @@ class CompileJob:
         Aliases and alternate spellings collapse here, so ``ph`` /
         ``paulihedral``, ``sycamore:8x8`` / ``sycamore`` and
         ``chem:LiH`` / ``LiH`` all describe — and hash as — the same
-        cell.
+        cell.  Pipeline variant specs fold into plain parameters:
+        ``tetris:no-bridge`` canonicalizes to compiler ``tetris`` with
+        ``params={"enable_bridging": False}``, so both spellings hash
+        identically (and can hit caches warmed under either).
         """
         spec = self.to_dict()
-        spec["compiler"] = COMPILERS.canonical(self.compiler)
+        compiler, variant_params = resolve_compiler_spec(self.compiler)
+        spec["compiler"] = compiler
+        if variant_params:
+            spec["params"] = {**variant_params, **spec["params"]}
         spec["device"] = canonical_device_spec(self.device)
         spec["bench"] = canonical_bench(self.bench)
         return spec
@@ -255,6 +270,9 @@ class JobResult:
 
     ``cached`` is runtime bookkeeping only — it is deliberately excluded
     from serialization so a warm rerun emits byte-identical JSONL.
+    ``profile`` is the optional per-pass instrumentation of a
+    ``profile=True`` run; it serializes (and caches) when present and is
+    omitted entirely otherwise, keeping unprofiled output bytes stable.
     """
 
     job: CompileJob
@@ -262,19 +280,24 @@ class JobResult:
     optimize_seconds: float = 0.0
     error: Optional[str] = None
     cached: bool = False
+    profile: Optional[PipelineProfile] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
-    def row(self) -> Dict[str, Any]:
+    def row(self, include_profile: bool = False) -> Dict[str, Any]:
         """Flatten to one table/CSV row: the full job spec then metrics.
 
         Every ablation axis (``blocks``, ``optimization_level``,
         ``params``) is a column, so two cells differing only in an
         ablation knob stay distinguishable in CSV/JSONL output.  Metric
         columns are always present (empty when the job errored) so a CSV
-        header built from an errored first row still carries them.
+        header built from an errored first row still carries them.  With
+        ``include_profile=True`` the row also carries the aligned
+        per-pass columns (``pass_names``, ``pass_seconds``,
+        ``pass_cnot_delta``, ...) — empty when the result has no profile
+        (errored, or served from an unprofiled cache entry).
         """
         row: Dict[str, Any] = {
             "bench": self.job.bench,
@@ -290,11 +313,13 @@ class JobResult:
             row.update(self.metrics.as_row())
         else:
             row.update({column: "" for column in METRIC_COLUMNS})
+        if include_profile:
+            row.update(profile_columns(self.profile))
         row["error"] = self.error or ""
         return row
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "schema": SPEC_VERSION,
             "job_hash": self.job.content_hash(),
             "job": self.job.to_dict(),
@@ -302,15 +327,20 @@ class JobResult:
             "optimize_seconds": self.optimize_seconds,
             "error": self.error,
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "JobResult":
         metrics = payload.get("metrics")
+        profile = payload.get("profile")
         return cls(
             job=CompileJob.from_dict(payload["job"]),
             metrics=None if metrics is None else CircuitMetrics(**metrics),
             optimize_seconds=payload.get("optimize_seconds", 0.0),
             error=payload.get("error"),
+            profile=None if profile is None else PipelineProfile.from_dict(profile),
         )
 
     def to_json(self) -> str:
@@ -344,18 +374,28 @@ def job_blocks(job: CompileJob):
     return blocks
 
 
-def run_job(job: CompileJob) -> JobResult:
-    """Execute one job in-process: resolve, compile, measure."""
-    from ..analysis import compile_and_measure
+def run_job(job: CompileJob, profile: bool = False) -> JobResult:
+    """Execute one job in-process: resolve, build the pipeline, run.
+
+    Every job — legacy compiler names included — runs through the
+    pass-pipeline layer (:func:`repro.pipeline.registry.build_pipeline`),
+    so ``profile=True`` attaches a per-pass
+    :class:`~repro.pipeline.profile.PipelineProfile` to the result at
+    the cost of one circuit scan per pass.
+    """
+    from ..pipeline.registry import build_pipeline
 
     blocks = job_blocks(job)
     coupling = resolve_device(job.device, blocks[0].num_qubits)
-    compiler = make_compiler(job.compiler, dict(job.params))
-    record = compile_and_measure(
-        compiler, blocks, coupling, optimization_level=job.optimization_level
+    manager = build_pipeline(
+        job.compiler,
+        optimization_level=job.optimization_level,
+        params=dict(job.params),
     )
+    run = manager.run(blocks, coupling, profile=profile)
     return JobResult(
         job=job,
-        metrics=record.metrics,
-        optimize_seconds=record.optimize_seconds,
+        metrics=run.metrics(),
+        optimize_seconds=run.optimize_seconds,
+        profile=run.profile,
     )

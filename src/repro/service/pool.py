@@ -34,17 +34,18 @@ def worker_count(requested: Optional[int] = None) -> int:
     return max(1, requested)
 
 
-def execute_job_safe(job: CompileJob) -> JobResult:
+def execute_job_safe(job: CompileJob, profile: bool = False) -> JobResult:
     """Run one job, capturing any exception as an errored result."""
     try:
-        return run_job(job)
+        return run_job(job, profile=profile)
     except Exception as exc:  # noqa: BLE001 — one bad cell must not kill the batch
         return JobResult(job=job, error=f"{type(exc).__name__}: {exc}")
 
 
-def _execute_payload(spec: dict) -> dict:
+def _execute_payload(payload: dict) -> dict:
     """Worker entry point — dict in, dict out, so pickling stays trivial."""
-    return execute_job_safe(CompileJob.from_dict(spec)).to_dict()
+    job = CompileJob.from_dict(payload["job"])
+    return execute_job_safe(job, profile=payload.get("profile", False)).to_dict()
 
 
 def _mp_context():
@@ -55,7 +56,7 @@ def _mp_context():
 
 
 def _fresh_results(
-    pending: List[Tuple[int, CompileJob]], workers: int
+    pending: List[Tuple[int, CompileJob]], workers: int, profile: bool = False
 ) -> Iterator[JobResult]:
     """Execute cache misses, yielding in ``pending`` order.
 
@@ -65,7 +66,7 @@ def _fresh_results(
     """
     if workers <= 1 or len(pending) <= 1:
         for _index, job in pending:
-            yield execute_job_safe(job)
+            yield execute_job_safe(job, profile=profile)
         return
     order = sorted(
         range(len(pending)),
@@ -75,7 +76,9 @@ def _fresh_results(
             pending[slot][1].scale,
         ),
     )
-    payloads = [pending[slot][1].to_dict() for slot in order]
+    payloads = [
+        {"job": pending[slot][1].to_dict(), "profile": profile} for slot in order
+    ]
     processes = min(workers, len(pending))
     chunksize = max(1, len(payloads) // (processes * 2))
     buffered = {}
@@ -100,6 +103,7 @@ def execute_jobs(
     use_cache: bool = True,
     progress: Optional[ProgressFn] = None,
     strict: bool = False,
+    profile: bool = False,
 ) -> Iterator[JobResult]:
     """Run a batch of jobs, yielding results in submission order.
 
@@ -109,6 +113,11 @@ def execute_jobs(
     execution regardless of environment configuration.  ``strict=True``
     raises on the first errored result instead of yielding it — for
     callers (the experiment harnesses) that dereference ``.metrics``.
+
+    ``profile=True`` requests per-pass pipeline profiles.  A cache entry
+    written without a profile doesn't satisfy a profiled request — the
+    job re-runs and the entry is upgraded in place — while profiled
+    entries keep serving unprofiled requests unchanged.
     """
     job_list = list(jobs)
     if cache is None and use_cache:
@@ -120,12 +129,14 @@ def execute_jobs(
     pending: List[Tuple[int, CompileJob]] = []
     for index, job in enumerate(job_list):
         hit = cache.get(job) if cache is not None else None
+        if hit is not None and profile and hit.profile is None:
+            hit = None  # unprofiled entry can't answer a profiled request
         if hit is not None:
             results[index] = hit
         else:
             pending.append((index, job))
 
-    fresh = _fresh_results(pending, worker_count(max_workers))
+    fresh = _fresh_results(pending, worker_count(max_workers), profile=profile)
     completed = 0
     for index in range(len(job_list)):
         result = results[index]
@@ -150,6 +161,7 @@ def run_batch(
     use_cache: bool = True,
     progress: Optional[ProgressFn] = None,
     strict: bool = False,
+    profile: bool = False,
 ) -> List[JobResult]:
     """Eager form of :func:`execute_jobs` — the list of all results."""
     return list(
@@ -160,5 +172,6 @@ def run_batch(
             use_cache=use_cache,
             progress=progress,
             strict=strict,
+            profile=profile,
         )
     )

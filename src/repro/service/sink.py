@@ -42,17 +42,21 @@ class CsvSink:
     """Flat rows via the stdlib ``csv`` module (proper quoting/escaping).
 
     Columns come from the first written result; later rows with missing
-    columns get empty cells and unexpected extras are ignored.
+    columns get empty cells and unexpected extras are ignored.  With
+    ``include_profile=True`` every row carries the per-pass profile
+    columns (empty for results without a profile), so the header is
+    stable regardless of which row arrives first.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, include_profile: bool = False):
         self.path = path
+        self.include_profile = include_profile
         self._handle = open(path, "w", newline="")
         self._writer: Optional[csv.DictWriter] = None
         self.count = 0
 
     def write(self, result: JobResult) -> None:
-        row = result.row()
+        row = result.row(include_profile=self.include_profile)
         if self._writer is None:
             self._writer = csv.DictWriter(
                 self._handle,

@@ -1,0 +1,422 @@
+"""Tests for the composable pass-pipeline layer.
+
+Three regression anchors, all recorded from the pre-pipeline (monolithic
+compiler) implementation:
+
+- *gate-sequence hashes* — every registered pipeline must reproduce the
+  monolithic compilers gate-for-gate on smoke cells (including cells
+  that exercise SWAP insertion and O1 cleanup);
+- *frozen v2 content hashes* — the six legacy compiler spec names must
+  keep hashing byte-identically, so warm result caches keep hitting;
+- *profile reconciliation* — per-pass CNOT/1Q/depth deltas must
+  telescope exactly to the end-to-end metrics.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+import repro
+from repro.chem import molecule_blocks
+from repro.compiler import TetrisCompiler
+from repro.hardware import resolve_device
+from repro.passes import optimize_light, optimize_o3, optimize_with_report
+from repro.pipeline import (
+    PASSES,
+    PIPELINES,
+    PassManager,
+    PipelineError,
+    PipelineProfile,
+    build_pipeline,
+    canonical_pipeline_spec,
+    resolve_compiler_spec,
+    run_pipeline,
+    split_opt_suffix,
+)
+from repro.pipeline.passes import (
+    CancelGatesPass,
+    DecomposeSwapsPass,
+    InteractionLayoutPass,
+    LowerTetrisIRPass,
+    TetrisSynthesisPass,
+)
+from repro.registry import RegistryError
+from repro.service import COMPILERS, CompileJob, run_job
+from repro.service.jobs import job_blocks
+
+
+def gate_hash(circuit) -> str:
+    digest = hashlib.sha256()
+    for gate in circuit.gates:
+        digest.update(
+            repr((gate.name, tuple(gate.qubits),
+                  tuple(getattr(gate, "params", ()) or ()))).encode()
+        )
+    return digest.hexdigest()
+
+
+def smoke_cell(compiler, bench="chem:LiH", device="grid:4x4", blocks=4, opt=3):
+    job = CompileJob(bench=bench, compiler=compiler, device=device,
+                     scale="smoke", blocks=blocks, optimization_level=opt)
+    cell_blocks = job_blocks(job)
+    coupling = resolve_device(job.device, cell_blocks[0].num_qubits)
+    return job, cell_blocks, coupling
+
+
+#: Gate-sequence hashes of the pre-refactor monolithic compilers
+#: (recorded before the pipeline refactor; cells chosen to exercise
+#: SWAP insertion, routing, bridging paths, and the O1 cleanup level).
+PRE_REFACTOR_GATE_HASHES = {
+    ("tetris", "chem:LiH", "grid:4x4", 4, 3):
+        "d888be1616ef93ca1d4ff14dbb227cda28ea6736b74874f3dc3196cc196e573b",
+    ("paulihedral", "chem:LiH", "grid:4x4", 4, 3):
+        "242baf1697ff8b796646868837dda9d9b827a5cf073ce61b4c9e43e8812e30c5",
+    ("max-cancel", "chem:LiH", "grid:4x4", 4, 3):
+        "1de100265d259d45d9e12d4f17d17fb2f6242f9d20e89b24875caba58e088cb6",
+    ("tket-like", "chem:LiH", "grid:4x4", 4, 3):
+        "08c4a38569b4d7f0e170ad8d812df1596977d65183afa044ec68b36ca07b8efd",
+    ("pcoast-like", "chem:LiH", "grid:4x4", 4, 3):
+        "4119e40df39cccc7929de69cf24cadcd4fc82623f5388a6d8421482a22f41cfe",
+    ("2qan-like", "qaoa:Rand-16", "grid:4x4", 4, 3):
+        "cd2784807a4d02e415ace51d740415f1457e4456855cedc68f8166c56d58427a",
+    ("tetris-qaoa", "qaoa:Rand-16", "grid:4x4", 4, 3):
+        "cd2784807a4d02e415ace51d740415f1457e4456855cedc68f8166c56d58427a",
+    ("tetris", "chem:LiH", "linear:auto+2", 8, 3):
+        "9af5e835a2e4f1c8690fc008881980c11848d1ffc5903c08d5ce5491486c6158",
+    ("tetris", "chem:LiH", "grid:4x4", 8, 1):
+        "8365aa043854ffcd728636d800254a11ee86b6b360d028520de104d7c5243d44",
+    ("tetris-qaoa", "qaoa:Rand-16", "linear:auto", 0, 3):
+        "96c2eb1f4d827155ad8d5f5a50c6a131ae9fcd0b8f2ae3828df1c6fca77f0700",
+    ("paulihedral", "chem:LiH", "linear:auto+2", 8, 3):
+        "7a543691c859926a95ef4678afd7646df440a7d26192c7472553f41152da83c1",
+}
+
+#: Content hashes (schema v2) of the six legacy compiler names on a
+#: fixed smoke cell, recorded pre-refactor.  These are on-disk cache
+#: keys: they must never change.
+FROZEN_V2_CONTENT_HASHES = {
+    "tetris":
+        "acd5e5e465e525f4426bbeaddda51851b852874f46b59dca18ae1bf5433eacb8",
+    "paulihedral":
+        "7544c493c3caff9d75edc4c59edad07907b6ce209e3c58c33b8644f7ce18765a",
+    "max-cancel":
+        "6c4002e6806776dcbd2cd190945d7ccd640e5130d55e7a3f8a9a7eebc850a77b",
+    "tket-like":
+        "d139102f8f1428808ca83eb595630beea041ab1a008084ad2225f541ead92a39",
+    "pcoast-like":
+        "2ea37f13682e175dc8f65304215b4f29b95bd4ce35af5b5e0360d83431897e67",
+    "2qan-like":
+        "960f27b0626de7abf33ca5d7165de03d33e90b62eb399471b35f193efc2c4b62",
+    "tetris-qaoa":
+        "478bdd25447ad99770f2831baa3c6698c3b9678a59c6f443fc4b5c4ac20c4dcf",
+}
+
+
+class TestGateForGateRegression:
+    @pytest.mark.parametrize(
+        "cell", sorted(PRE_REFACTOR_GATE_HASHES), ids=lambda c: "-".join(map(str, c))
+    )
+    def test_pipeline_matches_pre_refactor_compiler(self, cell):
+        compiler, bench, device, blocks, opt = cell
+        _job, cell_blocks, coupling = smoke_cell(
+            compiler, bench=bench, device=device, blocks=blocks, opt=opt
+        )
+        run = run_pipeline(compiler, cell_blocks, coupling,
+                           optimization_level=opt)
+        assert gate_hash(run.result.circuit) == PRE_REFACTOR_GATE_HASHES[cell]
+
+    def test_service_path_matches_pre_refactor_compiler(self):
+        cell = ("tetris", "chem:LiH", "grid:4x4", 4, 3)
+        job, _blocks, _coupling = smoke_cell("tetris")
+        result = run_job(job)
+        run = run_pipeline("tetris", _blocks, _coupling)
+        assert result.metrics.cnot_gates == run.metrics().cnot_gates
+        assert gate_hash(run.result.circuit) == PRE_REFACTOR_GATE_HASHES[cell]
+
+
+class TestFrozenContentHashes:
+    def test_v2_hashes_for_all_legacy_compiler_names(self):
+        for compiler, expected in FROZEN_V2_CONTENT_HASHES.items():
+            bench = "qaoa:Rand-16" if "qa" in compiler else "chem:LiH"
+            job, _, _ = smoke_cell(compiler, bench=bench)
+            assert job.content_hash() == expected, compiler
+
+    def test_variant_spec_hashes_like_explicit_params(self):
+        left = CompileJob(bench="LiH", compiler="tetris:no-bridge")
+        right = CompileJob(bench="LiH", compiler="tetris",
+                           params={"enable_bridging": False})
+        assert left.content_hash() == right.content_hash()
+        assert left.content_hash() != CompileJob(bench="LiH").content_hash()
+
+    def test_param_alias_spec_hashes_like_canonical_param(self):
+        left = CompileJob(bench="LiH", compiler="tetris:w=0.1")
+        right = CompileJob(bench="LiH", compiler="tetris",
+                           params={"swap_weight": 0.1})
+        assert left.content_hash() == right.content_hash()
+
+
+class TestSpecGrammar:
+    def test_split_opt_suffix(self):
+        assert split_opt_suffix("tetris") == ("tetris", None)
+        assert split_opt_suffix("tetris+o1") == ("tetris", 1)
+        assert split_opt_suffix("tetris:no-bridge+o0") == ("tetris:no-bridge", 0)
+        for bad in ("tetris+", "tetris+o2x", "tetris+x3", "tetris+o5"):
+            with pytest.raises(RegistryError):
+                split_opt_suffix(bad)
+
+    def test_resolve_compiler_spec(self):
+        assert resolve_compiler_spec("tetris") == ("tetris", {})
+        assert resolve_compiler_spec("ph") == ("paulihedral", {})
+        assert resolve_compiler_spec("tetris:no-bridge") == (
+            "tetris", {"enable_bridging": False}
+        )
+        assert resolve_compiler_spec("tetris:w=0.1,k=5") == (
+            "tetris", {"swap_weight": 0.1, "lookahead": 5}
+        )
+        name, params = resolve_compiler_spec("layout,synth-chain,route")
+        assert name == "layout,synth-chain,route" and params == {}
+        for bad in ("nope", "tetris:nope", "tetris+o1", "", "layout,nope"):
+            with pytest.raises(RegistryError):
+                resolve_compiler_spec(bad)
+
+    def test_unknown_parameter_keys_fail_eagerly(self):
+        # a typo'd assignment must fail at spec-resolution time, not at
+        # worker run time (and never mint a phantom cache cell)
+        with pytest.raises(RegistryError, match="unknown parameter"):
+            resolve_compiler_spec("tetris:lookahaed=10")
+        with pytest.raises(ValueError, match="unknown parameter"):
+            CompileJob(bench="LiH", compiler="tetris:bogus=1")
+        # aliases and real parameter names both pass
+        resolve_compiler_spec("tetris:k=5,swap_weight=2")
+        resolve_compiler_spec("tket-like:style=qiskit-o3")
+
+    def test_canonical_pipeline_spec(self):
+        assert canonical_pipeline_spec("ph") == "paulihedral"
+        assert canonical_pipeline_spec("tetris:k=5,no-bridge") == (
+            "tetris:enable_bridging=False,lookahead=5"
+        )
+
+    def test_build_pipeline_levels(self):
+        assert build_pipeline("tetris").pass_names()[-3:] == [
+            "decompose-swaps", "cancel", "consolidate-1q"
+        ]
+        assert build_pipeline("tetris+o1").pass_names()[-2:] == [
+            "decompose-swaps", "cancel"
+        ]
+        assert build_pipeline("tetris+o0").pass_names()[-1:] == [
+            "decompose-swaps"
+        ]
+        # explicit suffix wins over the argument
+        assert build_pipeline("tetris+o1", optimization_level=3).name.endswith("+o1")
+
+    def test_custom_pass_list_rejects_params(self):
+        with pytest.raises(RegistryError, match="no parameters"):
+            build_pipeline("layout,synth-chain,route", params={"x": 1})
+
+    def test_registries_in_sync_with_service(self):
+        assert PIPELINES.names() == COMPILERS.names()
+        assert set(PIPELINES.all_labels()) == set(COMPILERS.all_labels())
+        assert len(PASSES) >= 15
+
+
+class TestComposition:
+    def test_variant_equals_class_configuration(self):
+        _job, blocks, coupling = smoke_cell("tetris")
+        via_spec = run_pipeline("tetris:no-bridge", blocks, coupling)
+        via_class = TetrisCompiler(enable_bridging=False).compile(
+            blocks, coupling
+        )
+        via_class_opt = optimize_o3(via_class.circuit)
+        assert gate_hash(via_spec.result.circuit) == gate_hash(via_class_opt)
+
+    def test_custom_pass_list_reproduces_max_cancel(self):
+        _job, blocks, coupling = smoke_cell("max-cancel")
+        custom = run_pipeline(
+            "order-similarity,synth-single-leaf,layout,route",
+            blocks, coupling, optimization_level=1,
+        )
+        named = run_pipeline("max-cancel+o1", blocks, coupling)
+        assert gate_hash(custom.result.circuit) == gate_hash(named.result.circuit)
+
+    def test_hand_built_manager(self):
+        _job, blocks, coupling = smoke_cell("tetris")
+        manager = PassManager(
+            [LowerTetrisIRPass(), InteractionLayoutPass(),
+             TetrisSynthesisPass(lookahead=0), DecomposeSwapsPass(),
+             CancelGatesPass()],
+            name="hand-built",
+        )
+        run = manager.run(blocks, coupling)
+        assert run.result.compiler_name == "hand-built"
+        assert run.metrics().cnot_gates > 0
+
+    def test_missing_property_is_a_composition_error(self):
+        _job, blocks, coupling = smoke_cell("tetris")
+        manager = PassManager([TetrisSynthesisPass()], name="broken")
+        with pytest.raises(PipelineError, match="requires property 'ir_blocks'"):
+            manager.run(blocks, coupling)
+
+    def test_no_circuit_is_a_composition_error(self):
+        _job, blocks, coupling = smoke_cell("tetris")
+        manager = PassManager([InteractionLayoutPass()], name="no-synth")
+        with pytest.raises(PipelineError, match="produced no circuit"):
+            manager.run(blocks, coupling)
+
+    def test_empty_manager_rejected(self):
+        _job, blocks, coupling = smoke_cell("tetris")
+        with pytest.raises(PipelineError, match="no passes"):
+            PassManager([], name="empty").run(blocks, coupling)
+
+
+class TestProfileReconciliation:
+    @pytest.mark.parametrize("spec", ["tetris", "paulihedral", "max-cancel",
+                                      "tket-like", "pcoast-like"])
+    def test_deltas_telescope_to_end_to_end_metrics(self, spec):
+        _job, blocks, coupling = smoke_cell(spec, blocks=8)
+        run = run_pipeline(spec, blocks, coupling, profile=True)
+        metrics = run.metrics()
+        assert run.profile.reconciles(
+            metrics.cnot_gates, metrics.one_qubit_gates, metrics.depth
+        )
+        # analysis passes never change the circuit
+        for pass_profile in run.profile.passes:
+            if pass_profile.kind == "analysis":
+                assert pass_profile.cnot_delta == 0
+                assert pass_profile.depth_delta == 0
+
+    def test_stage_split_matches_run_accounting(self):
+        _job, blocks, coupling = smoke_cell("tetris")
+        run = run_pipeline("tetris", blocks, coupling, profile=True)
+        assert run.profile.stage_seconds("synthesis") == pytest.approx(
+            run.compile_seconds
+        )
+        assert run.profile.stage_seconds("optimize") == pytest.approx(
+            run.optimize_seconds
+        )
+
+    def test_unprofiled_run_skips_snapshots(self):
+        _job, blocks, coupling = smoke_cell("tetris")
+        run = run_pipeline("tetris", blocks, coupling, profile=False)
+        assert run.profile is None
+        assert run.metrics().cnot_gates > 0
+
+    def test_profile_round_trips_through_json(self):
+        _job, blocks, coupling = smoke_cell("tetris")
+        run = run_pipeline("tetris", blocks, coupling, profile=True)
+        payload = json.loads(json.dumps(run.profile.to_dict()))
+        restored = PipelineProfile.from_dict(payload)
+        assert restored.to_dict() == run.profile.to_dict()
+        assert restored.totals() == run.profile.totals()
+
+
+class TestServiceProfiles:
+    def test_run_job_attaches_profile(self):
+        job, _, _ = smoke_cell("tetris")
+        result = run_job(job, profile=True)
+        assert result.profile is not None
+        metrics = result.metrics
+        assert result.profile.reconciles(
+            metrics.cnot_gates, metrics.one_qubit_gates, metrics.depth
+        )
+
+    def test_unprofiled_serialization_has_no_profile_key(self):
+        job, _, _ = smoke_cell("tetris")
+        result = run_job(job)
+        assert "profile" not in result.to_dict()
+        restored = type(result).from_json(result.to_json())
+        assert restored.profile is None
+
+    def test_profiled_result_round_trips(self):
+        job, _, _ = smoke_cell("tetris")
+        result = run_job(job, profile=True)
+        restored = type(result).from_json(result.to_json())
+        assert restored.profile is not None
+        assert restored.profile.totals() == result.profile.totals()
+
+    def test_row_profile_columns(self):
+        job, _, _ = smoke_cell("tetris")
+        result = run_job(job, profile=True)
+        row = result.row(include_profile=True)
+        names = row["pass_names"].split(";")
+        assert names[-1] == "consolidate-1q"
+        deltas = [int(d) for d in row["pass_cnot_delta"].split(";")]
+        assert sum(deltas) == result.metrics.cnot_gates
+        # default rows stay unchanged (header compatibility)
+        assert "pass_names" not in result.row()
+        # unprofiled results emit empty cells under the same columns
+        bare = run_job(job).row(include_profile=True)
+        assert bare["pass_names"] == ""
+
+    def test_cache_upgrades_unprofiled_entries(self, tmp_path):
+        from repro.service import ResultCache, run_batch
+
+        job, _, _ = smoke_cell("tetris")
+        cache = ResultCache(str(tmp_path))
+        first = run_batch([job], cache=cache)[0]
+        assert first.profile is None and not first.cached
+        served = run_batch([job], cache=cache)[0]
+        assert served.cached and served.profile is None
+        upgraded = run_batch([job], cache=cache, profile=True)[0]
+        assert not upgraded.cached and upgraded.profile is not None
+        warm = run_batch([job], cache=cache, profile=True)[0]
+        assert warm.cached and warm.profile is not None
+        # profiled entries keep serving unprofiled requests
+        plain = run_batch([job], cache=cache)[0]
+        assert plain.cached
+
+    def test_facade_profile_passes(self):
+        result = repro.compile(
+            bench="chem:LiH", device="grid:4x4", scale="smoke", blocks=4,
+            use_cache=False, profile_passes=True,
+        )
+        assert result.profile is not None
+        assert result.profile.pipeline.startswith("tetris")
+
+    def test_job_rejects_opt_suffix_in_compiler_spec(self):
+        with pytest.raises(ValueError, match="optimization_level"):
+            CompileJob(bench="LiH", compiler="tetris+o1")
+
+    def test_job_accepts_variant_and_pass_list_specs(self):
+        CompileJob(bench="LiH", compiler="tetris:no-bridge")
+        CompileJob(bench="LiH", compiler="order-similarity,synth-single-leaf,layout,route")
+        with pytest.raises(ValueError):
+            CompileJob(bench="LiH", compiler="tetris:bogus-variant")
+
+
+class TestCliPipelineSpecs:
+    def test_single_mode_accepts_opt_suffix(self, capsys):
+        from repro import cli
+
+        assert cli.main(["--bench", "chem:LiH", "--blocks", "4",
+                         "--device", "grid:4x4",
+                         "--compiler", "tetris+o1"]) == 0
+        out = capsys.readouterr().out
+        assert "tetris+o1" in out
+
+    def test_bad_pipeline_params_error_cleanly(self):
+        from repro import cli
+
+        # parser.error (SystemExit), not a raw traceback
+        with pytest.raises(SystemExit):
+            cli.main(["--bench", "chem:LiH", "--blocks", "4",
+                      "--device", "grid:4x4",
+                      "--compiler", "tetris:bogus=1"])
+        with pytest.raises(SystemExit):
+            cli.main(["--bench", "chem:LiH", "--blocks", "4",
+                      "--device", "grid:4x4", "--compiler", "layout"])
+
+
+class TestOptimizeWithReportBugfix:
+    def test_single_decomposition_matches_eager_helpers(self):
+        _job, blocks, coupling = smoke_cell("tetris")
+        raw = TetrisCompiler().compile(blocks, coupling).circuit
+        for level, eager in ((1, optimize_light), (3, optimize_o3)):
+            optimized, report = optimize_with_report(raw, level)
+            assert gate_hash(optimized) == gate_hash(eager(raw))
+            assert report.cnots_before - report.cnots_removed == (
+                optimized.count_ops().get("cx", 0)
+            )
+        level0, report0 = optimize_with_report(raw, 0)
+        assert gate_hash(level0) == gate_hash(raw.decompose_swaps())
+        assert report0.cnots_removed == 0

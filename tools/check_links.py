@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo's documentation.
+
+Scans the given markdown files (or the repo's standard doc set when
+called with no arguments) for inline links and validates every
+*relative* link: the target file must exist, relative to the file the
+link appears in.  External links (http/https/mailto) and pure anchors
+are skipped — this is an offline check meant for CI.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (each
+broken link is reported as ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target) — images included.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks are skipped (links in examples aren't navigation).
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+DEFAULT_DOCS = ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md",
+                "docs", "examples")
+
+
+def iter_markdown(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md" and path.exists():
+            yield path
+
+
+def check_file(path: Path):
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = args or [p for p in DEFAULT_DOCS if Path(p).exists()]
+    files = list(iter_markdown(paths))
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for lineno, target in check_file(path):
+            print(f"{path}:{lineno}: broken link -> {target}")
+            failures += 1
+    print(f"check_links: {len(files)} files, "
+          f"{failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""CI check: profiled batch output reconciles with end-to-end metrics.
+
+Usage: ``check_profiles.py results.jsonl [results.csv]``
+
+Validates that every JSONL row produced by
+``repro batch --profile-passes`` carries a ``profile`` object whose
+per-pass deltas telescope to the row's metrics, and (when a CSV is
+given) that the flattened ``pass_cnot_delta`` column sums to the
+``cnot`` column in every row.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sys
+
+
+def check_jsonl(path: str) -> int:
+    count = 0
+    for line in open(path):
+        row = json.loads(line)
+        if row.get("error"):
+            continue  # errored jobs carry no metrics or profile
+        assert "profile" in row, f"JSONL row lacks a profile: {row['job']}"
+        metrics = row["metrics"]
+        passes = row["profile"]["passes"]
+        for axis, key in (("cnot", "cnot_gates"),
+                          ("one_qubit", "one_qubit_gates"),
+                          ("depth", "depth")):
+            total = sum(p[axis][1] - p[axis][0] for p in passes)
+            assert total == metrics[key], (
+                f"{row['job']}: {axis} deltas sum to {total}, "
+                f"metrics say {metrics[key]}"
+            )
+        count += 1
+    return count
+
+
+def check_csv(path: str) -> int:
+    count = 0
+    for row in csv.DictReader(open(path)):
+        if row.get("error") or not row.get("pass_cnot_delta"):
+            continue  # errored or unprofiled rows have empty pass_* cells
+        deltas = [int(d) for d in row["pass_cnot_delta"].split(";")]
+        assert sum(deltas) == int(row["cnot"]), (
+            f"per-pass deltas {sum(deltas)} != end-to-end cnot {row['cnot']}"
+        )
+        count += 1
+    return count
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: check_profiles.py results.jsonl [results.csv]",
+              file=sys.stderr)
+        return 2
+    jsonl_rows = check_jsonl(args[0])
+    csv_rows = check_csv(args[1]) if len(args) > 1 else 0
+    if jsonl_rows == 0:
+        print("check_profiles: no successful profiled rows found",
+              file=sys.stderr)
+        return 1
+    print(f"profiles reconcile: {jsonl_rows} JSONL rows, {csv_rows} CSV rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
