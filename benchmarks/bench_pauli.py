@@ -1,0 +1,152 @@
+"""Pauli-kernel throughput: char-loop baseline vs packed PauliTable.
+
+Times the two pairwise hot kernels of the compilation stack — the Eq. (1)
+similarity (same-non-identity-op match) matrix and the commutation matrix —
+at n in {16, 64, 256} qubits, old (frozen character reference from
+:mod:`repro.pauli.reference`) vs new (:class:`repro.pauli.table.PauliTable`
+batch kernels), plus the aligned row-product kernel.  Results land in
+``BENCH_pauli.json`` to seed the repo's performance trajectory; the CI
+perf-smoke job replays it with ``--quick`` and gates on
+``tools/check_bench.py`` (new must never be slower than old).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pauli.py [--quick] \
+        [--out BENCH_pauli.json] [--terms 64] [--seed 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from typing import Callable, List
+
+import numpy as np
+
+from repro.pauli.reference import (
+    char_commutation_matrix,
+    char_match_matrix,
+    char_product,
+)
+from repro.pauli.table import PauliTable
+
+SIZES = (16, 64, 256)
+
+
+def random_labels(rng: random.Random, terms: int, n: int) -> List[str]:
+    return ["".join(rng.choice("IXYZ") for _ in range(n)) for _ in range(terms)]
+
+
+def timeit(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_kernels(labels: List[str], repeats: int) -> List[dict]:
+    n = len(labels[0])
+    terms = len(labels)
+    table = PauliTable.from_labels(labels)
+    half = terms // 2
+    first, second = table.select(range(half)), table.select(range(half, 2 * half))
+
+    # Correctness before speed: the packed kernels must agree with the
+    # character reference on this exact input.
+    assert np.array_equal(table.match_matrix(), np.array(char_match_matrix(labels)))
+    assert np.array_equal(
+        table.commutation_matrix(), np.array(char_commutation_matrix(labels))
+    )
+    phases, rows = first.products(second)
+    for index in range(half):
+        ref_phase, ref_string = char_product(labels[index], labels[half + index])
+        assert phases[index] == ref_phase and rows.row(index).ops == ref_string
+
+    cells = [
+        (
+            "pairwise-similarity",
+            terms * terms,
+            lambda: char_match_matrix(labels),
+            lambda: table.match_matrix(),
+        ),
+        (
+            "commutation-matrix",
+            terms * terms,
+            lambda: char_commutation_matrix(labels),
+            lambda: table.commutation_matrix(),
+        ),
+        (
+            "row-products",
+            half,
+            lambda: [
+                char_product(labels[i], labels[half + i]) for i in range(half)
+            ],
+            lambda: first.products(second),
+        ),
+    ]
+    results = []
+    for kernel, pairs, old_fn, new_fn in cells:
+        old_seconds = timeit(old_fn, repeats)
+        new_seconds = timeit(new_fn, repeats)
+        results.append({
+            "kernel": kernel,
+            "n": n,
+            "terms": terms,
+            "pairs": pairs,
+            "old_seconds": old_seconds,
+            "new_seconds": new_seconds,
+            "old_pairs_per_s": pairs / old_seconds,
+            "new_pairs_per_s": pairs / new_seconds,
+            "speedup": old_seconds / new_seconds,
+        })
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer terms/repeats (the CI perf-smoke setting)")
+    parser.add_argument("--out", default="BENCH_pauli.json")
+    parser.add_argument("--terms", type=int, default=0,
+                        help="strings per size (default 64, quick 32)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    terms = args.terms or (32 if args.quick else 64)
+    repeats = 2 if args.quick else 5
+    rng = random.Random(args.seed)
+
+    results = []
+    for n in SIZES:
+        labels = random_labels(rng, terms, n)
+        results.extend(bench_kernels(labels, repeats))
+
+    payload = {
+        "benchmark": "pauli-kernels",
+        "quick": args.quick,
+        "terms": terms,
+        "repeats": repeats,
+        "seed": args.seed,
+        "sizes": list(SIZES),
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    header = f"{'kernel':<22} {'n':>4} {'old s':>10} {'new s':>10} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in results:
+        print(f"{row['kernel']:<22} {row['n']:>4} {row['old_seconds']:>10.6f} "
+              f"{row['new_seconds']:>10.6f} {row['speedup']:>8.1f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

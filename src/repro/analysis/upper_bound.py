@@ -9,24 +9,23 @@ matched region lets ``m`` edges cancel in each direction (bounded by either
 string's edge count).  Strings are ordered greedily for similarity —
 within blocks by minimal Hamming distance, across blocks by leaf-tree
 similarity — the same ordering freedom the compilers have.
+
+The per-pair arithmetic runs on the packed symplectic table: row weights
+and consecutive-row match counts are single popcount kernels over the
+ordered string list instead of per-pair character scans.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from ..compiler.paulihedral import similarity_chain_order
 from ..compiler.tetris.ir import lower_blocks
 from ..pauli.block import PauliBlock
 from ..pauli.pauli_string import PauliString
-
-
-def _pair_cancelable(first: PauliString, second: PauliString) -> int:
-    """CNOTs cancellable between two adjacent exponentials (one direction)."""
-    matched = len(first.common_qubits(second))
-    if matched == 0:
-        return 0
-    return min(matched, first.weight - 1, second.weight - 1)
+from ..pauli.table import PauliTable
 
 
 def max_cancel_upper_bound(blocks: Sequence[PauliBlock]) -> float:
@@ -35,10 +34,21 @@ def max_cancel_upper_bound(blocks: Sequence[PauliBlock]) -> float:
     strings: List[PauliString] = []
     for index in order:
         strings.extend(lower_blocks([blocks[index]])[0].strings)
-    total = sum(2 * (s.weight - 1) for s in strings if s.weight > 1)
+    if not strings:
+        return 0.0
+    table = PauliTable.from_strings(strings)
+    weights = table.weights()
+    total = int((2 * (weights - 1))[weights > 1].sum())
     if total == 0:
         return 0.0
-    cancelable = 0
-    for first, second in zip(strings, strings[1:]):
-        cancelable += 2 * _pair_cancelable(first, second)
+    if len(strings) < 2:
+        return 0.0
+    # CNOTs cancellable between consecutive exponentials: the matched
+    # region, bounded by either tree's edge count, zero when disjoint.
+    matched = table.select(np.arange(len(strings) - 1)).match_counts(
+        table.select(np.arange(1, len(strings)))
+    )
+    per_pair = np.minimum(matched, np.minimum(weights[:-1] - 1, weights[1:] - 1))
+    per_pair = np.where(matched == 0, 0, per_pair)
+    cancelable = int((2 * per_pair).sum())
     return min(1.0, cancelable / total)

@@ -22,7 +22,6 @@ from typing import FrozenSet, Tuple
 
 import numpy as np
 
-from ..pauli.operators import X, Y, Z
 from ..pauli.pauli_string import PauliString
 from ..pauli.qubit_operator import QubitOperator
 
@@ -115,15 +114,16 @@ class BravyiKitaevEncoder:
         parity = parities[orbital]
         rho = parities[orbital] if orbital % 2 == 0 else remainders[orbital]
 
-        x_ops = {k: X for k in update}
-        x_ops[orbital] = X
-        x_ops.update({k: Z for k in parity})
-        y_ops = {k: X for k in update}
-        y_ops[orbital] = Y
-        y_ops.update({k: Z for k in rho})
-
-        x_string = PauliString.from_ops(num_qubits, x_ops)
-        y_string = PauliString.from_ops(num_qubits, y_ops)
+        # Emit straight into the packed symplectic planes: X on the update
+        # set and the orbital (x bits), Z on the parity/rho set (z bits),
+        # Y at the orbital of the imaginary part (both bits).  The update
+        # set lies above the orbital and parity/rho below it, so the sets
+        # never collide.
+        flips = frozenset(update) | {orbital}
+        x_string = PauliString.from_xz_sets(num_qubits, flips - parity, parity)
+        y_string = PauliString.from_xz_sets(
+            num_qubits, flips - rho, rho | {orbital}
+        )
         sign = -1j if dagger else 1j
         out = QubitOperator.from_term(x_string, 0.5)
         out.add_term(y_string, 0.5 * sign)

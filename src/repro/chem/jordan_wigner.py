@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from ..pauli.operators import X, Y, Z
 from ..pauli.pauli_string import PauliString
 from ..pauli.qubit_operator import QubitOperator
 
@@ -23,15 +22,20 @@ class JordanWignerEncoder:
     @staticmethod
     @lru_cache(maxsize=4096)
     def ladder(orbital: int, dagger: bool, num_qubits: int) -> QubitOperator:
-        """The qubit operator for ``a_orbital`` or ``a†_orbital``."""
+        """The qubit operator for ``a_orbital`` or ``a†_orbital``.
+
+        Emits the two ladder strings straight into the packed symplectic
+        representation: the Z chain on ``0..orbital-1`` is the z bitplane,
+        the ``X``/``Y`` at ``orbital`` is the x bit (plus a z bit for Y) —
+        no character lists are ever joined.
+        """
         if not 0 <= orbital < num_qubits:
             raise ValueError(f"orbital {orbital} out of range")
-        x_ops = {k: Z for k in range(orbital)}
-        x_ops[orbital] = X
-        y_ops = {k: Z for k in range(orbital)}
-        y_ops[orbital] = Y
-        x_string = PauliString.from_ops(num_qubits, x_ops)
-        y_string = PauliString.from_ops(num_qubits, y_ops)
+        chain = range(orbital)
+        x_string = PauliString.from_xz_sets(num_qubits, (orbital,), chain)
+        y_string = PauliString.from_xz_sets(
+            num_qubits, (orbital,), (*chain, orbital)
+        )
         sign = -1j if dagger else 1j
         out = QubitOperator.from_term(x_string, 0.5)
         out.add_term(y_string, 0.5 * sign)

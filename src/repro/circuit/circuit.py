@@ -48,8 +48,22 @@ class QuantumCircuit:
         self.gates.append(gate)
 
     def extend(self, gates: Iterable[Gate]) -> None:
+        """Append many gates, validating qubit bounds once per gate.
+
+        The fast path for bulk emission: bounds are checked inline against
+        a local width instead of re-dispatching every gate through
+        :meth:`append` (which re-reads the instance attributes per call).
+        """
+        num_qubits = self.num_qubits
+        buffer = self.gates
         for gate in gates:
-            self.append(gate)
+            for qubit in gate.qubits:
+                if not 0 <= qubit < num_qubits:
+                    raise ValueError(
+                        f"qubit {qubit} out of range for "
+                        f"{num_qubits}-qubit circuit"
+                    )
+            buffer.append(gate)
 
     def h(self, qubit: int) -> None:
         self.append(Gate(g.H, (qubit,)))
@@ -136,12 +150,42 @@ class QuantumCircuit:
         out.gates = list(self.gates)
         return out
 
-    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
-        """Return ``self`` followed by ``other`` (widths must match)."""
-        if other.num_qubits != self.num_qubits:
-            raise ValueError("circuit width mismatch")
+    def compose(
+        self,
+        other: "QuantumCircuit",
+        qubit_map: Optional[Dict[int, int]] = None,
+    ) -> "QuantumCircuit":
+        """Return ``self`` followed by ``other``.
+
+        Without ``qubit_map`` the widths must match and the gates append
+        verbatim.  With ``qubit_map`` (``other``'s wire -> this circuit's
+        wire), ``other`` may be narrower and lands on the mapped wires;
+        the remapped gates stream through the :meth:`extend` fast path so
+        bounds are validated once per gate.
+        """
+        if qubit_map is None:
+            if other.num_qubits != self.num_qubits:
+                raise ValueError("circuit width mismatch")
+            out = self.copy()
+            out.gates.extend(other.gates)
+            return out
+        mapping = {int(k): int(v) for k, v in qubit_map.items()}
+        if len(set(mapping.values())) != len(mapping):
+            collisions = sorted(
+                v for v in set(mapping.values())
+                if sum(1 for w in mapping.values() if w == v) > 1
+            )
+            raise ValueError(
+                f"qubit_map targets wire(s) {collisions} more than once"
+            )
+        missing = set(other.touched_qubits()) - set(mapping)
+        if missing:
+            raise ValueError(
+                f"qubit_map missing wires {sorted(missing)} touched by "
+                f"the composed circuit"
+            )
         out = self.copy()
-        out.gates.extend(other.gates)
+        out.extend(gate.remapped(mapping) for gate in other.gates)
         return out
 
     def inverse(self) -> "QuantumCircuit":

@@ -39,6 +39,7 @@ from .analysis import format_table
 from .circuit import to_qasm
 from .hardware.families import DEVICE_FAMILIES, canonical_device_spec
 from .pipeline import (
+    PASSES,
     PIPELINES,
     PipelineError,
     resolve_compiler_spec,
@@ -96,6 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print every workload provider + instance and exit")
     parser.add_argument("--list-compilers", action="store_true",
                         help="print every compiler registry entry and exit")
+    parser.add_argument("--list-pipelines", action="store_true",
+                        help="print the PIPELINES registry with its spec "
+                             "grammar, variants, and pass vocabulary, then exit")
     parser.add_argument("--list-devices", action="store_true",
                         help="print every device family + grammar and exit")
     return parser
@@ -126,6 +130,30 @@ def print_devices() -> None:
         print(f"      {entry.description}")
 
 
+def print_pipelines() -> None:
+    """The full PIPELINES registry: grammar, variants, and pass vocabulary."""
+    print("pipeline spec grammar:")
+    print("  <pipeline>[:<variant>|<param>=<value>,...][+o<level>]   "
+          "(levels: 0, 1, 3)")
+    print("  <pass>,<pass>,...   (custom pass list; cleanup tail appended)")
+    print()
+    print("registered pipelines:")
+    for entry in PIPELINES.entries():
+        aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"  {entry.grammar}{aliases}")
+        print(f"      passes: {entry.description}")
+        definition = PIPELINES.get(entry.name)
+        for variant, params in sorted(definition.variants.items()):
+            overrides = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+            print(f"      variant {variant}: {overrides}")
+        for short, full in sorted(definition.param_aliases.items()):
+            print(f"      param alias {short} -> {full}")
+    print()
+    print("registered passes (for custom lists):")
+    for entry in PASSES.entries():
+        print(f"  {entry.name}: {entry.description}")
+
+
 def _single_compiler_params(args) -> dict:
     """Explicitly-set tetris tuning flags (None = builder/variant default)."""
     base, _level = split_opt_suffix(args.compiler)
@@ -150,6 +178,9 @@ def main(argv=None) -> int:
         return 0
     if args.list_compilers:
         print_compilers()
+        return 0
+    if args.list_pipelines:
+        print_pipelines()
         return 0
     if args.list_devices:
         print_devices()

@@ -23,7 +23,7 @@ from ..circuit import gate as g
 from ..circuit.gate import Gate
 from ..hardware.coupling import CouplingGraph
 from ..pauli.block import PauliBlock
-from ..pauli.similarity import block_similarity
+from ..pauli.similarity import block_similarity_matrix
 from ..synthesis.basis_change import post_rotation_gates, pre_rotation_gates
 from .base import CompilationResult, Compiler
 from .mapping_utils import (
@@ -35,18 +35,21 @@ from .mapping_utils import (
 
 
 def similarity_chain_order(blocks: Sequence[PauliBlock]) -> List[int]:
-    """Greedy nearest-neighbour chain over block similarity (Eq. 1)."""
+    """Greedy nearest-neighbour chain over block similarity (Eq. 1).
+
+    The full pairwise similarity matrix is one batch kernel over the
+    blocks' packed leaf tables; the greedy chain then only indexes it.
+    """
     remaining = list(range(len(blocks)))
     if not remaining:
         return []
+    similarity = block_similarity_matrix(blocks)
     first = max(remaining, key=lambda i: (blocks[i].active_length, -i))
     order = [first]
     remaining.remove(first)
     while remaining:
-        last = blocks[order[-1]]
-        choice = max(
-            remaining, key=lambda i: (block_similarity(last, blocks[i]), -i)
-        )
+        last_row = similarity[order[-1]]
+        choice = max(remaining, key=lambda i: (last_row[i], -i))
         order.append(choice)
         remaining.remove(choice)
     return order

@@ -21,23 +21,39 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..hardware.coupling import CouplingGraph
+from ..pauli.bits import popcount
 from ..pauli.block import PauliBlock
+from ..pauli.table import PauliTable
 from .base import CompilationResult, Compiler
 
 
 def extract_edges(blocks: Sequence[PauliBlock]) -> List[Tuple[int, int, float]]:
-    """``(u, v, angle)`` per ZZ block; validates the QAOA shape."""
-    edges = []
+    """``(u, v, angle)`` per ZZ block; validates the QAOA shape.
+
+    The whole cost layer is checked as one packed table: a ZZ term has an
+    empty x bitplane and a z bitplane of weight 2, so shape validation and
+    endpoint extraction are two popcount kernels over all blocks at once.
+    """
     for block in blocks:
         if len(block) != 1:
             raise ValueError("QAOA blocks must contain exactly one string")
-        string = block.strings[0]
-        support = string.support
-        if len(support) != 2 or any(string[q] != "Z" for q in support):
-            raise ValueError(f"not a ZZ term: {string}")
-        edges.append((support[0], support[1], block.angle * block.weights[0]))
-    return edges
+    if not blocks:
+        return []
+    table = PauliTable.from_strings([block.strings[0] for block in blocks])
+    x_weight = popcount(table.x).sum(axis=1, dtype=np.int64)
+    z_weight = popcount(table.z).sum(axis=1, dtype=np.int64)
+    bad = np.flatnonzero((x_weight != 0) | (z_weight != 2))
+    if bad.size:
+        raise ValueError(f"not a ZZ term: {table.row(int(bad[0]))}")
+    endpoints = np.nonzero(table.support_bits())[1].reshape(len(blocks), 2)
+    return [
+        (int(endpoints[i, 0]), int(endpoints[i, 1]),
+         block.angle * block.weights[0])
+        for i, block in enumerate(blocks)
+    ]
 
 
 class TwoQANLikeCompiler(Compiler):

@@ -22,22 +22,21 @@ def _gray_order(block: PauliBlock) -> list:
     Adjacent strings that agree on more operators let more of the shared
     tree cancel between the mirrored fan-out and the next fan-in, so the
     ordering starts from the lexicographically smallest string and always
-    appends the closest remaining string.
+    appends the closest remaining string.  Distances come from one batch
+    Hamming-matrix kernel over the block's bitplanes; lexicographic ranks
+    (stable, so duplicates keep index order) replace per-comparison
+    character tie-breaks.
     """
-    strings = block.strings
-    remaining = list(range(len(strings)))
-    current = min(remaining, key=lambda i: strings[i].ops)
+    table = block.table
+    distance = table.hamming_matrix()
+    rank = table.lex_ranks()
+    remaining = list(range(len(block)))
+    current = min(remaining, key=lambda i: rank[i])
     order = [current]
     remaining.remove(current)
     while remaining:
-        reference = strings[current]
-        current = min(
-            remaining,
-            key=lambda i: (
-                sum(1 for a, b in zip(reference.ops, strings[i].ops) if a != b),
-                strings[i].ops,
-            ),
-        )
+        row = distance[current]
+        current = min(remaining, key=lambda i: (row[i], rank[i]))
         order.append(current)
         remaining.remove(current)
     return order
@@ -62,8 +61,10 @@ class TetrisBlockIR:
             leaf = frozenset()
         self.leaf_qubits: Tuple[int, ...] = tuple(sorted(leaf))
         self.root_qubits: Tuple[int, ...] = tuple(sorted(support - leaf))
-        self.uniform_support = all(
-            string.support_set == support for string in block.strings
+        # Every per-string support is a subset of the block support, so the
+        # supports are uniform iff every row weight equals the active length.
+        self.uniform_support = bool(
+            (block.table.weights() == len(support)).all()
         )
 
     # -- convenience views -------------------------------------------------------

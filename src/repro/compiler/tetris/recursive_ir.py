@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ...pauli.block import PauliBlock
-from ...pauli.operators import I
+from ...pauli.operators import CHAR_OF_CODE, I
 from .ir import TetrisBlockIR
 
 
@@ -56,18 +56,26 @@ class RecursiveTetrisIR(TetrisBlockIR):
         self.runs: Tuple[RecursiveRun, ...] = tuple(self._find_runs())
 
     def _find_runs(self) -> List[RecursiveRun]:
-        """Maximal runs (length >= 2) of equal non-identity root-qubit ops."""
+        """Maximal runs (length >= 2) of equal non-identity root-qubit ops.
+
+        Scans the dense per-qubit code plane decoded once from the block's
+        packed bitplanes instead of indexing characters string by string.
+        """
         runs: List[RecursiveRun] = []
-        strings = self.strings
+        codes = self.block.table.code_rows()
+        num_strings = codes.shape[0]
         for qubit in self.root_qubits:
+            column = codes[:, qubit]
             start = 0
-            while start < len(strings):
-                op = strings[start][qubit]
+            while start < num_strings:
+                code = column[start]
                 stop = start + 1
-                while stop < len(strings) and strings[stop][qubit] == op:
+                while stop < num_strings and column[stop] == code:
                     stop += 1
-                if op != I and stop - start >= 2:
-                    runs.append(RecursiveRun(qubit, op, start, stop))
+                if code != 0 and stop - start >= 2:
+                    runs.append(
+                        RecursiveRun(qubit, CHAR_OF_CODE[code], start, stop)
+                    )
                 start = stop
         runs.sort(key=lambda run: (run.start, run.qubit))
         return runs

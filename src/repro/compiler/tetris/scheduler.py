@@ -9,14 +9,21 @@
 The SWAP-cost estimate is the clustering cost of the candidate's root-tree
 qubits: the summed distance of each root qubit to the set's centre, minus
 the one free hop each (already-adjacent qubits cost nothing).
+
+All Eq. (1) similarities are precomputed as one batch matrix kernel over
+the blocks' packed leaf tables (:func:`repro.pauli.similarity.
+block_similarity_matrix`) — ranking a candidate set is then pure index
+arithmetic instead of per-pair leaf-profile reconstruction.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+import numpy as np
+
 from ...hardware.coupling import CouplingGraph
-from ...pauli.similarity import block_similarity
+from ...pauli.similarity import block_similarity_matrix
 from ...routing.layout import Layout
 from ..mapping_utils import find_center
 from .ir import TetrisBlockIR
@@ -39,6 +46,11 @@ def estimate_root_gather_cost(
     return sum(max(0, int(distance[p, center]) - 1) for p in positions)
 
 
+def _similarity_matrix(blocks: Sequence[TetrisBlockIR]) -> np.ndarray:
+    """The pairwise Eq. (1) matrix for a list of IR blocks."""
+    return block_similarity_matrix([ir.block for ir in blocks])
+
+
 def lookahead_order(
     blocks: Sequence[TetrisBlockIR],
     lookahead: int = DEFAULT_LOOKAHEAD,
@@ -54,15 +66,13 @@ def lookahead_order(
     remaining = list(range(len(blocks)))
     if not remaining:
         return []
+    similarity = _similarity_matrix(blocks)
     first = max(remaining, key=lambda i: (blocks[i].active_length, -i))
     order = [first]
     remaining.remove(first)
     while remaining:
-        last = blocks[order[-1]]
-        ranked = sorted(
-            remaining,
-            key=lambda i: (-block_similarity(last.block, blocks[i].block), i),
-        )
+        last_row = similarity[order[-1]]
+        ranked = sorted(remaining, key=lambda i: (-last_row[i], i))
         candidates = ranked[: max(1, lookahead)]
         if cost_of is None:
             chosen = candidates[0]
@@ -91,6 +101,7 @@ class LookaheadScheduler:
         self.blocks = list(blocks)
         self.lookahead = max(1, lookahead)
         self.cost_of = cost_of
+        self._similarity = _similarity_matrix(self.blocks)
         self._remaining = list(range(len(self.blocks)))
         self._last: Optional[int] = None
 
@@ -106,10 +117,9 @@ class LookaheadScheduler:
                 key=lambda i: (self.blocks[i].active_length, -i),
             )
         else:
-            last_block = self.blocks[self._last].block
+            last_row = self._similarity[self._last]
             ranked = sorted(
-                self._remaining,
-                key=lambda i: (-block_similarity(last_block, self.blocks[i].block), i),
+                self._remaining, key=lambda i: (-last_row[i], i)
             )
             candidates = ranked[: self.lookahead]
             # Tie-break equal SWAP cost by similarity rank (candidates are
@@ -141,6 +151,7 @@ class SimilarityScheduler:
 
     def __init__(self, blocks: Sequence[TetrisBlockIR]) -> None:
         self.blocks = list(blocks)
+        self._similarity = _similarity_matrix(self.blocks)
         self._remaining = list(range(len(self.blocks)))
         self._last: Optional[int] = None
 
@@ -156,11 +167,8 @@ class SimilarityScheduler:
                 key=lambda i: (self.blocks[i].active_length, -i),
             )
         else:
-            last_block = self.blocks[self._last].block
-            choice = max(
-                self._remaining,
-                key=lambda i: (block_similarity(last_block, self.blocks[i].block), -i),
-            )
+            last_row = self._similarity[self._last]
+            choice = max(self._remaining, key=lambda i: (last_row[i], -i))
         self._remaining.remove(choice)
         self._last = choice
         return self.blocks[choice]

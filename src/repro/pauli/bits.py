@@ -1,0 +1,115 @@
+"""Packed-bitplane primitives for the symplectic Pauli backend.
+
+A Pauli term list is stored as two bitplanes ``(x, z)``: ``uint64`` arrays of
+shape ``[terms, ceil(n / 64)]`` where qubit ``q`` of a row lives in word
+``q // 64`` at bit ``q % 64`` (least-significant bit first).  Every batch
+kernel in :mod:`repro.pauli.table` reduces to bitwise word operations plus a
+population count, so the per-qubit work of the old character loops becomes
+64 qubits per machine instruction.
+
+This module owns the three primitives everything else is built from:
+
+- :func:`pack_bits` / :func:`unpack_bits` — bool/uint8 planes <-> words;
+- :func:`popcount` — vectorized population count (``np.bitwise_count`` on
+  NumPy >= 2.0, byte-table fallback otherwise);
+- :data:`BIT` — single-bit masks for sparse constructors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+
+#: ``BIT[k]`` is the uint64 word with only bit ``k`` set.
+BIT = np.uint64(1) << np.arange(WORD_BITS, dtype=np.uint64)
+
+
+def num_words(num_qubits: int) -> int:
+    """Words needed for ``num_qubits`` bits."""
+    return (num_qubits + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``[..., n]`` bool/uint8 plane into ``[..., ceil(n/64)]`` words.
+
+    Bit ``q`` of the input lands in word ``q // 64`` at bit ``q % 64``; the
+    tail bits of the last word are zero (an invariant every kernel relies
+    on — e.g. row weights would otherwise count phantom qubits).
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    n = bits.shape[-1]
+    words = num_words(n)
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    if packed.shape[-1] != words * 8:
+        padded = np.zeros(bits.shape[:-1] + (words * 8,), dtype=np.uint8)
+        padded[..., : packed.shape[-1]] = packed
+        packed = padded
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Unpack ``[..., w]`` words back into a ``[..., num_qubits]`` uint8 plane."""
+    words = np.ascontiguousarray(words)
+    as_bytes = words.view(np.uint8)
+    if num_qubits == 0:
+        return np.zeros(words.shape[:-1] + (0,), dtype=np.uint8)
+    return np.unpackbits(as_bytes, axis=-1, count=num_qubits, bitorder="little")
+
+
+try:  # NumPy >= 2.0
+    popcount = np.bitwise_count
+except AttributeError:  # pragma: no cover - legacy NumPy fallback
+    _POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of a uint64 array."""
+        words = np.ascontiguousarray(words)
+        per_byte = _POP8[words.view(np.uint8)]
+        return per_byte.reshape(words.shape + (8,)).sum(axis=-1, dtype=np.uint64)
+
+
+#: Shift placing qubit ``k`` of a 32-qubit group in the top-down 2-bit
+#: field of a lexicographic key word (qubit 0 most significant).
+_LEX_SHIFTS = np.arange(62, -2, -2).astype(np.uint64)
+
+
+def lex_key_words(codes: np.ndarray) -> np.ndarray:
+    """Pack per-qubit 2-bit codes into big-endian-by-qubit key words.
+
+    ``codes`` is ``[..., n]`` with values 0..3 (I < X < Y < Z); the result
+    is ``[..., ceil(n/32)]`` uint64 words whose element-wise comparison
+    reproduces character-string lexicographic order.  The single shared
+    implementation behind ``PauliString.lex_key`` and
+    ``PauliTable.lex_argsort`` — their agreement is load-bearing for the
+    compilers' tie-breaks.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    n = codes.shape[-1]
+    pad = (-n) % 32
+    if pad:
+        codes = np.concatenate(
+            [codes, np.zeros(codes.shape[:-1] + (pad,), dtype=np.uint64)],
+            axis=-1,
+        )
+    grouped = codes.reshape(codes.shape[:-1] + (-1, 32)) << _LEX_SHIFTS
+    return grouped.sum(axis=-1, dtype=np.uint64)
+
+
+def sparse_words(num_qubits: int, qubits, *, clip: bool = False) -> np.ndarray:
+    """Word vector with the bits of ``qubits`` set.
+
+    With ``clip=True`` out-of-range qubits are silently ignored (the old
+    ``PauliString.restricted`` contract); otherwise they raise.
+    """
+    out = np.zeros(num_words(num_qubits), dtype=np.uint64)
+    for qubit in qubits:
+        qubit = int(qubit)
+        if not 0 <= qubit < num_qubits:
+            if clip:
+                continue
+            raise ValueError(
+                f"qubit {qubit} out of range 0..{num_qubits - 1}"
+            )
+        out[qubit >> 6] |= BIT[qubit & 63]
+    return out

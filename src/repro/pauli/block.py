@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .operators import I
 from .pauli_string import PauliString
+from .table import PauliTable
 
 
 class PauliBlock:
@@ -31,7 +31,7 @@ class PauliBlock:
         Optional provenance label (e.g. the excitation ``(i, j) -> (a, b)``).
     """
 
-    __slots__ = ("_strings", "_weights", "angle", "label")
+    __slots__ = ("_strings", "_weights", "_table", "angle", "label")
 
     def __init__(
         self,
@@ -53,6 +53,7 @@ class PauliBlock:
             raise ValueError("weights must match strings")
         self._strings: Tuple[PauliString, ...] = tuple(strings)
         self._weights: Tuple[float, ...] = tuple(float(w) for w in weights)
+        self._table: Optional[PauliTable] = None
         self.angle = float(angle)
         self.label = label
 
@@ -61,6 +62,13 @@ class PauliBlock:
     @property
     def strings(self) -> Tuple[PauliString, ...]:
         return self._strings
+
+    @property
+    def table(self) -> PauliTable:
+        """The block's strings as one packed bitplane table (cached)."""
+        if self._table is None:
+            self._table = PauliTable.from_strings(self._strings)
+        return self._table
 
     @property
     def weights(self) -> Tuple[float, ...]:
@@ -84,10 +92,7 @@ class PauliBlock:
     @property
     def support(self) -> FrozenSet[int]:
         """Union of non-identity supports of all strings."""
-        qubits: set = set()
-        for string in self._strings:
-            qubits.update(string.support)
-        return frozenset(qubits)
+        return frozenset(self.table.support_qubits())
 
     @property
     def active_length(self) -> int:
@@ -99,15 +104,10 @@ class PauliBlock:
 
         This is the paper's *leaf-tree qubit set* (Sec. IV-A): the maximum
         qubit set over which the corresponding Pauli operators are the same
-        for all strings in the block.
+        for all strings in the block.  One packed reduction over the
+        block's bitplanes.
         """
-        first = self._strings[0]
-        common = {q for q in first.support}
-        for string in self._strings[1:]:
-            common = {q for q in common if string[q] == first[q] and string[q] != I}
-            if not common:
-                break
-        return frozenset(common)
+        return frozenset(self.table.common_qubits())
 
     def root_qubits(self) -> FrozenSet[int]:
         """The paper's *root-tree qubit set*: supported but not common."""
@@ -117,13 +117,10 @@ class PauliBlock:
         """True iff every pair of strings in the block commutes.
 
         Strings from one UCCSD excitation always commute; reordering a
-        block is only semantics-preserving when this holds.
+        block is only semantics-preserving when this holds.  One batch
+        anticommutation-matrix kernel instead of O(k^2) pair calls.
         """
-        for index, first in enumerate(self._strings):
-            for second in self._strings[index + 1:]:
-                if not first.commutes_with(second):
-                    return False
-        return True
+        return self.table.pairwise_commuting()
 
     def common_substring(self) -> PauliString:
         """The shared operators as a string (identity off the common set)."""

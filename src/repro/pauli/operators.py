@@ -52,6 +52,23 @@ ORD_OF_XZ[1, 0] = _ORD_X
 ORD_OF_XZ[1, 1] = _ORD_Y
 ORD_OF_XZ[0, 1] = _ORD_Z
 
+# (x, z) -> lexicographic code.  ASCII orders the characters I < X < Y < Z,
+# so sorting packed 2-bit codes (qubit 0 in the most significant position)
+# reproduces the character-string sort order bit-for-bit.
+CODE_OF_XZ = np.zeros((2, 2), dtype=np.uint8)
+CODE_OF_XZ[0, 0] = 0  # I
+CODE_OF_XZ[1, 0] = 1  # X
+CODE_OF_XZ[1, 1] = 2  # Y
+CODE_OF_XZ[0, 1] = 3  # Z
+
+#: ``CHAR_OF_CODE[code]`` — the character for a lexicographic code.
+CHAR_OF_CODE = (I, X, Y, Z)
+
+#: ``IS_PAULI_ORD[ord(char)]`` — vectorized membership test.
+IS_PAULI_ORD = np.zeros(256, dtype=bool)
+for _o in (_ORD_I, _ORD_X, _ORD_Y, _ORD_Z):
+    IS_PAULI_ORD[_o] = True
+
 # Dense 2x2 matrices for simulation / verification.
 MATRICES = {
     I: np.array([[1, 0], [0, 1]], dtype=complex),

@@ -12,6 +12,7 @@ import cmath
 from typing import Dict, Iterator, Tuple
 
 from .pauli_string import PauliString
+from .table import PauliTable
 
 _TOLERANCE = 1e-12
 
@@ -63,9 +64,21 @@ class QubitOperator:
             self._terms[string] = new
 
     def terms(self) -> Iterator[Tuple[PauliString, complex]]:
-        """Iterate ``(string, coefficient)`` pairs in deterministic order."""
+        """Iterate ``(string, coefficient)`` pairs in deterministic order.
+
+        Terms sort lexicographically; ``PauliString.__lt__`` compares
+        packed 2-bit code words, so the sort never materializes the
+        character renderings.
+        """
         for string in sorted(self._terms):
             yield string, self._terms[string]
+
+    def to_table(self) -> PauliTable:
+        """The terms (in :meth:`terms` order) as one packed table."""
+        return PauliTable.from_strings(
+            [string for string, _ in self.terms()],
+            num_qubits=self._num_qubits,
+        )
 
     def coefficient(self, string: PauliString) -> complex:
         return self._terms.get(string, 0j)
@@ -105,10 +118,25 @@ class QubitOperator:
         if other.num_qubits != self._num_qubits:
             raise ValueError("operator width mismatch")
         out = QubitOperator(self._num_qubits)
+        if not self._terms or not other._terms:
+            return out
+        # One batch product kernel per left term: a 1-row table broadcast
+        # against the whole right table yields every product row and phase
+        # in one shot, preserving the old accumulation order exactly.
+        right_coefficients = list(other._terms.values())
+        right_table = PauliTable.from_strings(
+            list(other._terms.keys()), num_qubits=self._num_qubits
+        )
         for left, c_left in self._terms.items():
-            for right, c_right in other._terms.items():
-                phase, string = left.product(right)
-                out.add_term(string, phase * c_left * c_right)
+            x_row, z_row = left.xz_words()
+            left_row = PauliTable(
+                x_row[None, :], z_row[None, :], self._num_qubits
+            )
+            phases, products = left_row.products(right_table)
+            for index, c_right in enumerate(right_coefficients):
+                out.add_term(
+                    products.row(index), phases[index] * c_left * c_right
+                )
         return out
 
     def dagger(self) -> "QubitOperator":

@@ -1,0 +1,85 @@
+"""Frozen character-level reference semantics for the Pauli layer.
+
+These are the pre-PauliTable implementations — per-character Python loops
+over plain ``str`` operands — kept verbatim as the behavioral oracle:
+
+- the randomized property tests assert the packed kernels are bit-exact
+  against them (product phases included);
+- ``benchmarks/bench_pauli.py`` times them as the *old* side of its
+  old-vs-new throughput comparison.
+
+Do not optimize this module; its value is that it stays the O(n) character
+loop the repo started from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .operators import I, single_product
+
+Phase = complex
+
+
+def char_weight(a: str) -> int:
+    """Non-identity count of a character string."""
+    return sum(1 for char in a if char != I)
+
+
+def char_support(a: str) -> Tuple[int, ...]:
+    """Non-identity positions, ascending."""
+    return tuple(k for k, char in enumerate(a) if char != I)
+
+
+def char_product(a: str, b: str) -> Tuple[Phase, str]:
+    """``a @ b`` with phase, one character at a time."""
+    if len(a) != len(b):
+        raise ValueError("width mismatch")
+    power = 0
+    chars: List[str] = []
+    for char_a, char_b in zip(a, b):
+        step, char_c = single_product(char_a, char_b)
+        power += step
+        chars.append(char_c)
+    return (1j ** (power % 4)), "".join(chars)
+
+
+def char_commutes(a: str, b: str) -> bool:
+    """True iff the strings commute (odd anti-commuting pairs -> False)."""
+    if len(a) != len(b):
+        raise ValueError("width mismatch")
+    anti = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != I and char_b != I and char_a != char_b:
+            anti += 1
+    return anti % 2 == 0
+
+
+def char_common_qubits(a: str, b: str) -> Tuple[int, ...]:
+    """Positions carrying the same non-identity operator in both strings."""
+    return tuple(
+        k for k, (char_a, char_b) in enumerate(zip(a, b))
+        if char_a != I and char_a == char_b
+    )
+
+
+def char_similarity(a: str, b: str) -> int:
+    """Same-non-identity-op count (the Eq. (1) numerator for strings)."""
+    return len(char_common_qubits(a, b))
+
+
+def char_hamming(a: str, b: str) -> int:
+    """Number of positions where the strings differ."""
+    if len(a) != len(b):
+        raise ValueError("width mismatch")
+    return sum(1 for char_a, char_b in zip(a, b) if char_a != char_b)
+
+
+def char_match_matrix(strings: List[str]) -> List[List[int]]:
+    """All-pairs :func:`char_similarity` — the old pairwise hot loop."""
+    return [[char_similarity(a, b) for b in strings] for a in strings]
+
+
+def char_commutation_matrix(strings: List[str]) -> List[List[bool]]:
+    """All-pairs :func:`char_commutes` — the old pairwise hot loop."""
+    return [[char_commutes(a, b) for b in strings] for a in strings]

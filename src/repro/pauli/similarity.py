@@ -3,15 +3,24 @@
 Implements Eq. (1) of the paper: the Jaccard-style similarity between two
 Tetris blocks based on the common part of their leaf trees, plus string-level
 helpers used by the schedulers.
+
+Every pairwise helper routes through the packed symplectic backend
+(:mod:`repro.pauli.table`) and raises the same width-mismatch
+``ValueError``; :func:`block_similarity_matrix` is the batch form the
+schedulers precompute once instead of re-paying per-pair calls.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional, Sequence
 
+import numpy as np
+
+from .bits import popcount
 from .block import PauliBlock
 from .operators import I
-from .pauli_string import PauliString
+from .pauli_string import PauliString, _width_error
+from .table import PauliTable
 
 
 def string_similarity(a: PauliString, b: PauliString) -> int:
@@ -22,8 +31,10 @@ def string_similarity(a: PauliString, b: PauliString) -> int:
 def hamming_distance(a: PauliString, b: PauliString) -> int:
     """Number of positions where the two strings differ."""
     if a.num_qubits != b.num_qubits:
-        raise ValueError("width mismatch")
-    return sum(1 for x, y in zip(a.ops, b.ops) if x != y)
+        raise _width_error(a.num_qubits, b.num_qubits)
+    xa, za = a.xz_words()
+    xb, zb = b.xz_words()
+    return int(popcount((xa ^ xb) | (za ^ zb)).sum())
 
 
 def leaf_profile(block: PauliBlock) -> Dict[int, str]:
@@ -48,13 +59,49 @@ def block_similarity(a: PauliBlock, b: PauliBlock) -> float:
     ``C`` is the common part of the two leaf trees.  Returns 0.0 when both
     leaf sets are empty.
     """
-    leaf_a = a.common_qubits()
-    leaf_b = b.common_qubits()
-    common = len(common_leaf_qubits(a, b))
-    denominator = len(leaf_a) + len(leaf_b) - common
+    leaf_a = a.common_substring()
+    leaf_b = b.common_substring()
+    common = len(leaf_a.common_qubits(leaf_b))
+    denominator = leaf_a.weight + leaf_b.weight - common
     if denominator == 0:
         return 0.0
     return common / denominator
+
+
+def leaf_table(blocks: Sequence[PauliBlock]) -> PauliTable:
+    """The blocks' common substrings (leaf profiles) as one packed table.
+
+    Row ``i`` carries block ``i``'s shared operator on each leaf-tree qubit
+    and identity elsewhere, so its weight is ``|LT_i|`` and a pairwise
+    match count between rows is exactly the Eq. (1) numerator ``|C|``.
+    """
+    if not blocks:
+        return PauliTable.from_strings([], num_qubits=0)
+    return PauliTable.from_strings(
+        [block.common_substring() for block in blocks]
+    )
+
+
+def block_similarity_matrix(
+    blocks: Sequence[PauliBlock],
+    others: Optional[Sequence[PauliBlock]] = None,
+) -> np.ndarray:
+    """All-pairs Eq. (1) similarity as one batch kernel.
+
+    ``out[i, j] == block_similarity(blocks[i], others[j])`` (``others``
+    defaults to ``blocks``), computed from the packed leaf tables: the
+    numerators are an AND-plus-popcount match matrix, the denominators
+    come from the leaf weights, and empty-leaf pairs are 0.0.
+    """
+    table_a = leaf_table(blocks)
+    table_b = table_a if others is None else leaf_table(others)
+    common = table_a.match_matrix(table_b)
+    weights_a = table_a.weights()
+    weights_b = table_b.weights()
+    denominator = weights_a[:, None] + weights_b[None, :] - common
+    return np.where(
+        denominator == 0, 0.0, common / np.maximum(denominator, 1)
+    )
 
 
 def support_overlap(a: PauliBlock, b: PauliBlock) -> float:

@@ -75,8 +75,11 @@ class LowerTetrisIRPass(AnalysisPass):
 class SimilarityOrderPass(AnalysisPass):
     """Greedy nearest-neighbour block chain over similarity (Eq. 1).
 
-    Provides ``block_order`` (also recorded in ``extra`` for replay
-    verification)."""
+    The Paulihedral ordering stage.  All pairwise Eq. (1) values come from
+    one :func:`repro.pauli.similarity.block_similarity_matrix` batch kernel
+    over the blocks' packed leaf tables; the greedy chain then only indexes
+    the matrix.  Provides ``block_order`` (also recorded in ``extra`` for
+    replay verification)."""
 
     name = "order-similarity"
 
@@ -91,7 +94,10 @@ class SimilarityOrderPass(AnalysisPass):
 class ExtractEdgesPass(AnalysisPass):
     """Validate the QAOA shape and extract ``(u, v, angle)`` ZZ terms.
 
-    Provides ``edges``."""
+    The 2QAN/Tetris-QAOA ordering front-end: the whole cost layer is
+    validated as one packed :class:`~repro.pauli.table.PauliTable`
+    (empty x bitplane, z weight 2 per row) and the edge endpoints fall
+    out of its support plane.  Provides ``edges``."""
 
     name = "extract-edges"
 
@@ -214,7 +220,9 @@ class SpanningTreeSynthesisPass(TransformationPass):
             block = blocks[index]
             pairs = list(zip(block.strings, block.weights))
             if self.sort_strings and block.pairwise_commuting():
-                pairs.sort(key=lambda item: item[0].ops)
+                # lex_key() sorts identically to the character strings but
+                # compares packed code words, never materializing chars.
+                pairs.sort(key=lambda item: item[0].lex_key())
             for string, weight in pairs:
                 emit_string_over_spanning_tree(
                     tracker, coupling, string, block.angle * weight

@@ -48,6 +48,11 @@ class TestCompileAndMeasure:
         ratio = logical_cancel_ratio(TetrisCompiler(), sample_blocks())
         assert 0.0 <= ratio <= 1.0
 
+    def test_max_cancel_upper_bound_empty(self):
+        from repro.analysis.upper_bound import max_cancel_upper_bound
+
+        assert max_cancel_upper_bound([]) == 0.0
+
 
 class TestTables:
     def test_format_alignment(self):

@@ -96,6 +96,38 @@ class TestCircuitTransforms:
         with pytest.raises(ValueError):
             a.compose(QuantumCircuit(3))
 
+    def test_extend_validates_bounds(self):
+        qc = QuantumCircuit(2)
+        qc.extend([Gate("h", (0,)), Gate("cx", (0, 1))])
+        assert len(qc) == 2
+        with pytest.raises(ValueError):
+            qc.extend([Gate("h", (5,))])
+
+    def test_compose_with_qubit_map(self):
+        wide = QuantumCircuit(4)
+        wide.h(0)
+        narrow = QuantumCircuit(2)
+        narrow.cx(0, 1)
+        narrow.rz(0.25, 1)
+        out = wide.compose(narrow, qubit_map={0: 2, 1: 3})
+        assert [(g.name, g.qubits) for g in out.gates] == [
+            ("h", (0,)), ("cx", (2, 3)), ("rz", (3,))
+        ]
+        assert out.num_qubits == 4
+        # originals untouched
+        assert len(wide) == 1 and len(narrow) == 2
+
+    def test_compose_qubit_map_errors(self):
+        wide = QuantumCircuit(4)
+        narrow = QuantumCircuit(2)
+        narrow.cx(0, 1)
+        with pytest.raises(ValueError, match="missing wires"):
+            wide.compose(narrow, qubit_map={0: 2})
+        with pytest.raises(ValueError, match="out of range"):
+            wide.compose(narrow, qubit_map={0: 2, 1: 9})
+        with pytest.raises(ValueError, match="more than once"):
+            wide.compose(narrow, qubit_map={0: 2, 1: 2})
+
     def test_inverse_is_inverse(self):
         qc = small_circuit()
         identity = qc.compose(qc.inverse())

@@ -44,6 +44,17 @@ class TestCli:
                 == 0
             )
 
+    def test_list_pipelines(self, capsys):
+        assert cli.main(["--list-pipelines"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline spec grammar" in out
+        assert "tetris[:no-bridge" in out
+        assert "variant no-bridge: enable_bridging=False" in out
+        assert "param alias w -> swap_weight" in out
+        # the pass vocabulary for custom spec lists is included
+        assert "synth-tetris:" in out
+        assert "order-similarity:" in out
+
     def test_unknown_device(self):
         with pytest.raises(SystemExit):
             cli.main(["--bench", "LiH", "--device", "torus"])

@@ -1,0 +1,153 @@
+"""Direct tests for repro.pauli.similarity — Eq. (1) edge cases and the
+batch similarity matrix vs per-pair equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pauli import (
+    PauliBlock,
+    PauliString,
+    block_similarity,
+    block_similarity_matrix,
+    common_leaf_qubits,
+    hamming_distance,
+    leaf_profile,
+    string_similarity,
+    support_overlap,
+)
+from repro.pauli.reference import char_hamming, char_similarity
+from repro.pauli.similarity import leaf_table
+
+PAULIS = "IXYZ"
+
+
+def block_of(*labels, angle=1.0):
+    return PauliBlock([PauliString(label) for label in labels], angle=angle)
+
+
+random_blocks = st.integers(2, 24).flatmap(
+    lambda n: st.lists(
+        st.lists(
+            st.text(alphabet=PAULIS, min_size=n, max_size=n),
+            min_size=1,
+            max_size=4,
+        ).map(lambda ls: block_of(*ls)),
+        min_size=1,
+        max_size=6,
+    )
+)
+
+
+class TestStringHelpers:
+    def test_string_similarity_counts_matches(self):
+        assert string_similarity(PauliString("XZZ"), PauliString("YZZ")) == 2
+
+    def test_string_similarity_ignores_identity_matches(self):
+        assert string_similarity(PauliString("II"), PauliString("II")) == 0
+
+    def test_hamming_distance(self):
+        assert hamming_distance(PauliString("XYZ"), PauliString("XZZ")) == 1
+        assert hamming_distance(PauliString("XX"), PauliString("XX")) == 0
+
+    def test_width_mismatch_consistent_across_helpers(self):
+        a, b = PauliString("X"), PauliString("XX")
+        with pytest.raises(ValueError, match="width mismatch"):
+            string_similarity(a, b)
+        with pytest.raises(ValueError, match="width mismatch"):
+            hamming_distance(a, b)
+        with pytest.raises(ValueError, match="width mismatch"):
+            a.product(b)
+        with pytest.raises(ValueError, match="width mismatch"):
+            a.commutes_with(b)
+
+    @given(
+        st.integers(1, 100).flatmap(
+            lambda n: st.tuples(
+                st.text(alphabet=PAULIS, min_size=n, max_size=n),
+                st.text(alphabet=PAULIS, min_size=n, max_size=n),
+            )
+        )
+    )
+    @settings(max_examples=60)
+    def test_randomized_old_vs_new(self, pair):
+        a, b = pair
+        assert string_similarity(PauliString(a), PauliString(b)) == char_similarity(a, b)
+        assert hamming_distance(PauliString(a), PauliString(b)) == char_hamming(a, b)
+
+
+class TestEq1EdgeCases:
+    def test_identical_blocks(self):
+        block = block_of("XYZZZ", "XXZZZ", "YXZZZ")
+        assert block_similarity(block, block) == pytest.approx(1.0)
+
+    def test_empty_leaf_sets_are_zero(self):
+        # Both blocks have no block-wide common operator -> |LT| = 0.
+        a = block_of("XI", "IX")
+        b = block_of("YI", "IY")
+        assert block_similarity(a, b) == 0.0
+        assert block_similarity(a, a) == 0.0
+
+    def test_one_empty_leaf_set(self):
+        a = block_of("XI", "IX")       # empty leaf tree
+        b = block_of("ZZ")             # leaf {0, 1}
+        assert block_similarity(a, b) == 0.0
+
+    def test_disjoint_supports(self):
+        a = block_of("ZZII")
+        b = block_of("IIZZ")
+        assert block_similarity(a, b) == 0.0
+        assert support_overlap(a, b) == 0.0
+
+    def test_same_leaf_qubits_different_ops(self):
+        a = block_of("ZZ")
+        b = block_of("XX")
+        # |C| = 0 but both leaf sets are size 2 -> 0 / 4.
+        assert block_similarity(a, b) == 0.0
+
+    def test_partial_overlap_value(self):
+        a = block_of("XYZZZ", "XXZZZ", "YXZZZ")   # leaf {2,3,4} = ZZZ
+        b = block_of("IXZZX", "IYZZX")            # leaf {2,3,4} = ZZX
+        assert common_leaf_qubits(a, b) == frozenset({2, 3})
+        assert block_similarity(a, b) == pytest.approx(2 / 4)
+
+    def test_leaf_profile_of_single_string_block(self):
+        block = block_of("ZIZ")
+        assert leaf_profile(block) == {0: "Z", 2: "Z"}
+
+    def test_identity_strings_have_empty_profile(self):
+        block = block_of("III")
+        assert leaf_profile(block) == {}
+        assert block_similarity(block, block) == 0.0
+
+
+class TestBatchMatrix:
+    def test_leaf_table_rows_are_common_substrings(self):
+        blocks = [block_of("XYZZZ", "XXZZZ", "YXZZZ"), block_of("ZZIII")]
+        table = leaf_table(blocks)
+        assert table.row(0).ops == "IIZZZ"
+        assert table.row(1).ops == "ZZIII"
+
+    def test_empty_block_list(self):
+        matrix = block_similarity_matrix([])
+        assert matrix.shape == (0, 0)
+
+    @given(random_blocks)
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_equals_per_pair(self, blocks):
+        matrix = block_similarity_matrix(blocks)
+        expected = np.array(
+            [[block_similarity(a, b) for b in blocks] for a in blocks]
+        )
+        assert matrix.shape == expected.shape
+        assert np.array_equal(matrix, expected)
+
+    def test_rectangular_matrix(self):
+        rows = [block_of("ZZI"), block_of("XXI")]
+        cols = [block_of("ZZI"), block_of("IZZ"), block_of("YYI")]
+        matrix = block_similarity_matrix(rows, cols)
+        assert matrix.shape == (2, 3)
+        for i, a in enumerate(rows):
+            for j, b in enumerate(cols):
+                assert matrix[i, j] == block_similarity(a, b)

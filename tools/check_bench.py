@@ -1,0 +1,75 @@
+"""Sanity gate over a BENCH_pauli.json emitted by benchmarks/bench_pauli.py.
+
+Fails (exit 1) if any packed kernel is slower than its character-loop
+baseline, or if the headline pairwise kernels miss a required speedup
+floor.  CI runs::
+
+    python tools/check_bench.py BENCH_pauli.json --min-speedup 1.0
+
+The refactor's acceptance target (>= 10x on the pairwise kernels at
+n = 64) can be asserted with ``--target-speedup 10 --target-n 64``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Kernels the --target-speedup floor applies to (the pairwise hot loops).
+TARGET_KERNELS = ("pairwise-similarity", "commutation-matrix")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="BENCH_pauli.json to check")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="every kernel must beat the char baseline by "
+                             "this factor (default: not slower)")
+    parser.add_argument("--target-speedup", type=float, default=0.0,
+                        help="additional floor for the pairwise kernels "
+                             "at --target-n qubits")
+    parser.add_argument("--target-n", type=int, default=64)
+    args = parser.parse_args(argv)
+
+    with open(args.path) as handle:
+        payload = json.load(handle)
+    results = payload.get("results", [])
+    if not results:
+        print(f"FAIL: {args.path} holds no results")
+        return 1
+
+    failures = []
+    for row in results:
+        label = f"{row['kernel']} @ n={row['n']}"
+        if row["speedup"] < args.min_speedup:
+            failures.append(
+                f"{label}: {row['speedup']:.2f}x < min {args.min_speedup:g}x"
+            )
+        if (
+            args.target_speedup
+            and row["kernel"] in TARGET_KERNELS
+            and row["n"] == args.target_n
+            and row["speedup"] < args.target_speedup
+        ):
+            failures.append(
+                f"{label}: {row['speedup']:.2f}x < target {args.target_speedup:g}x"
+            )
+        print(f"{label}: {row['speedup']:.1f}x "
+              f"({row['old_seconds']:.6f}s -> {row['new_seconds']:.6f}s)")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"ok: {len(results)} kernel cells pass "
+          f"(min-speedup {args.min_speedup:g}x"
+          + (f", target {args.target_speedup:g}x at n={args.target_n}"
+             if args.target_speedup else "")
+          + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
