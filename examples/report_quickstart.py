@@ -1,0 +1,60 @@
+"""Programmatic use of the experiment manifest (`repro.report`).
+
+The report layer that backs ``repro report`` is a plain registry + a
+few functions — everything the CLI does is scriptable:
+
+1. list the manifest (every paper table/figure, its claim, its pins);
+2. run one experiment store-first and look at its rows;
+3. check its pinned metrics the same way ``--check`` does;
+4. render a single-experiment markdown report to a string.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/report_quickstart.py
+
+Uses smoke-scale grids throughout, so a cold run takes seconds and a
+rerun is served from the artifact store.
+"""
+
+from repro.experiments.spec import check_pins
+from repro.report import (
+    EXPERIMENTS,
+    ReportStore,
+    experiment_ids,
+    render_markdown,
+    run_experiment,
+)
+
+# --- 1. the manifest: every experiment id, claim, and pin count --------
+
+print("manifest:")
+for exp_id in experiment_ids():
+    spec = EXPERIMENTS.get(exp_id).spec
+    print(f"  {exp_id:7s} {spec.kind:6s} pins={len(spec.pins):2d}  {spec.title}")
+
+# --- 2. run one experiment through the artifact store ------------------
+
+entry = EXPERIMENTS.get("table2")  # aliases/case-insensitivity work too
+store = ReportStore()  # $REPRO_REPORT_DIR or <cache>/report
+outcome = run_experiment(entry, scale="smoke", store=store)
+
+print(f"\ntable2 @ smoke: {len(outcome.rows)} rows, "
+      f"{outcome.runtime_seconds:.2f}s "
+      f"({'store' if outcome.from_store else 'computed'})")
+for row in outcome.rows:
+    print(f"  {row['bench']:7s} {row['encoder']}: "
+          f"tetris {row['tetris_cnot']} vs ph {row['ph_cnot']} CNOTs "
+          f"({row['cnot_impr_%']:+.2f}%, paper {row['paper_cnot_impr_%']}%)")
+
+# --- 3. the drift gate, by hand ----------------------------------------
+
+print("\npinned-metric checks (what `repro report --check` runs):")
+for result in check_pins(entry.spec, outcome.rows, scale="smoke"):
+    print(f"  {result.describe()}")
+
+# --- 4. render a one-experiment report ---------------------------------
+
+document = render_markdown([outcome], scale="smoke", csv_dir_rel=None)
+print("\nsingle-table RESULTS.md (first 12 lines):")
+for line in document.splitlines()[:12]:
+    print(f"  {line}")

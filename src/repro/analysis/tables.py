@@ -24,7 +24,13 @@ def format_table(rows: Sequence[Dict], columns: Sequence[str] = ()) -> str:
     return "\n".join([header, ruler, *body])
 
 
-def _cell(value) -> str:
+def format_cell(value) -> str:
+    """One table cell: compact, stable float formatting.
+
+    Shared by the aligned-text tables here and the markdown renderer in
+    :mod:`repro.report.render`, so a number reads identically in the
+    runner's terminal output and in ``docs/RESULTS.md``.
+    """
     if isinstance(value, float):
         if value == 0:
             return "0"
@@ -32,6 +38,10 @@ def _cell(value) -> str:
             return f"{value:,.0f}"
         return f"{value:.4g}"
     return str(value)
+
+
+#: Backwards-compatible private alias (pre-report-layer name).
+_cell = format_cell
 
 
 def improvement(baseline: float, measured: float) -> float:

@@ -24,6 +24,14 @@ JSONL/CSV::
         --profile-passes --csv profiled.csv
     python -m repro.cli batch --matrix jobs.json --jsonl results.jsonl
 
+Report mode regenerates the unified experiment report (every paper
+table/figure through the manifest, rendered to ``docs/RESULTS.md`` with
+per-experiment CSVs and regression gating — see :mod:`repro.report`)::
+
+    python -m repro.cli report --quick --check
+    python -m repro.cli report --only table2,fig14 --scale small
+    python -m repro.cli report --list
+
 Discover the vocabulary (families, aliases, and the parameter grammar)
 with ``--list-benchmarks``, ``--list-compilers``, and ``--list-devices``.
 """
@@ -171,6 +179,10 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "report":
+        from .report.cli import report_main
+
+        return report_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_benchmarks:

@@ -1,9 +1,18 @@
 """Experiment harnesses — one module per paper table/figure.
 
-Every module exposes ``run(scale) -> list[dict]`` and ``main(scale) -> str``.
-The registry maps experiment ids to modules for the CLI runner::
+Every module exposes ``run(scale) -> list[dict]``, ``main(scale) -> str``
+(the aligned-text rendering, built by :func:`common.text_main` unless the
+module needs a custom shape), and an ``EXPERIMENT``
+:class:`~repro.experiments.spec.ExperimentSpec` manifest entry declaring
+what it reproduces: the paper claim, the job grid, the row schema, and
+regression pins.  The registry maps experiment ids to modules for the
+CLI runner and the report layer::
 
     python -m repro.experiments.runner --experiment table2 --scale small
+    python -m repro.cli report --only table2 --quick
+
+:mod:`repro.report` collects the per-module specs into the ``EXPERIMENTS``
+manifest and renders them into ``docs/RESULTS.md``.
 """
 
 from . import (
@@ -22,6 +31,7 @@ from . import (
     table1,
     table2,
 )
+from .spec import CheckResult, ExperimentSpec, PinnedMetric  # noqa: F401
 
 REGISTRY = {
     "table1": table1,
@@ -40,4 +50,16 @@ REGISTRY = {
     "fig24": fig24,
 }
 
-__all__ = ["REGISTRY"] + sorted(REGISTRY)
+for _name, _module in REGISTRY.items():
+    if _module.EXPERIMENT.id != _name:
+        raise ImportError(
+            f"experiment module {_name} declares mismatched spec id "
+            f"{_module.EXPERIMENT.id!r}"
+        )
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentSpec",
+    "PinnedMetric",
+    "CheckResult",
+] + sorted(REGISTRY)

@@ -40,6 +40,7 @@ SYNTHETIC_BY_SCALE = {
 
 
 def default_scale() -> str:
+    """``$REPRO_SCALE`` (validated), else ``small``."""
     scale = os.environ.get("REPRO_SCALE", "small")
     if scale not in SCALES:
         raise ValueError(f"REPRO_SCALE must be one of {SCALES}, got {scale!r}")
@@ -59,7 +60,25 @@ def workload(name: str, encoder: str = "JW", scale: str = "small") -> List[Pauli
 
 
 def experiment_header(name: str, scale: str) -> str:
+    """Banner line the runner prints above each experiment's output."""
     return f"== {name} (scale={scale}) =="
+
+
+def text_main(run_fn):
+    """Build the standard ``main(scale) -> str`` for an experiment module.
+
+    Every experiment renders its rows as one aligned text table; modules
+    with a different shape (e.g. fig15's two sub-figures) define their
+    own ``main``.  Centralizing the glue here keeps the modules down to
+    the part that differs: the grid and the row schema.
+    """
+
+    def main(scale: str = "small") -> str:
+        from ..analysis import format_table
+
+        return format_table(run_fn(scale))
+
+    return main
 
 
 def rows_to_csv(rows: Sequence[Dict], path: str) -> None:

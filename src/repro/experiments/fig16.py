@@ -12,10 +12,12 @@ from typing import Dict, List
 from ..analysis import compile_and_measure
 from ..compiler import PaulihedralCompiler, TetrisCompiler
 from ..hardware import resolve_device
-from .common import MOLECULES_BY_SCALE, check_scale, workload
+from .common import MOLECULES_BY_SCALE, check_scale, text_main, workload
+from .spec import ExperimentSpec, PinnedMetric
 
 
 def run(scale: str = "small") -> List[Dict]:
+    """Per-molecule CNOT/depth with the O3 cleanup on and off."""
     check_scale(scale)
     coupling = resolve_device("ithaca")
     rows: List[Dict] = []
@@ -33,7 +35,28 @@ def run(scale: str = "small") -> List[Dict]:
     return rows
 
 
-def main(scale: str = "small") -> str:
-    from ..analysis import format_table
+main = text_main(run)
 
-    return format_table(run(scale))
+EXPERIMENT = ExperimentSpec(
+    id="fig16",
+    kind="figure",
+    title="Fig. 16 — sensitivity to the O3 cleanup pass",
+    claim=(
+        "O3 helps Paulihedral far more than Tetris (Tetris cancels "
+        "structurally during synthesis), and Tetris wins with or without "
+        "the optimizer."
+    ),
+    grid="molecules x (paulihedral, tetris) x (O0, O3) on heavy-hex:ibm-65",
+    columns=(
+        "bench",
+        "ph_cnot_raw", "ph_cnot_o3", "ph_depth_raw", "ph_depth_o3",
+        "tetris_cnot_raw", "tetris_cnot_o3", "tetris_depth_raw", "tetris_depth_o3",
+    ),
+    compilers=("paulihedral", "tetris"),
+    devices=("heavy-hex:ibm-65",),
+    pins=(
+        PinnedMetric(where={"bench": "LiH"}, column="ph_cnot_raw", expected=3338),
+        PinnedMetric(where={"bench": "LiH"}, column="tetris_cnot_o3", expected=2422),
+    ),
+    runtime_hint="~1 s smoke / ~15 s small serial",
+)

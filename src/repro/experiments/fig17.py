@@ -10,12 +10,14 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..service import CompileJob, run_batch
-from .common import MOLECULES_BY_SCALE, check_scale
+from .common import MOLECULES_BY_SCALE, check_scale, text_main
+from .spec import ExperimentSpec, PinnedMetric
 
 FIG17_COMPILERS = (("ph", "paulihedral"), ("tetris", "tetris"), ("max_cancel", "max-cancel"))
 
 
 def run(scale: str = "small", encoders: Sequence[str] = ("JW", "BK")) -> List[Dict]:
+    """Logical cancellation ratio per (molecule, encoder) and compiler."""
     check_scale(scale)
     grid = [
         (name, encoder)
@@ -40,7 +42,25 @@ def run(scale: str = "small", encoders: Sequence[str] = ("JW", "BK")) -> List[Di
     return rows
 
 
-def main(scale: str = "small") -> str:
-    from ..analysis import format_table
+main = text_main(run)
 
-    return format_table(run(scale))
+EXPERIMENT = ExperimentSpec(
+    id="fig17",
+    kind="figure",
+    title="Fig. 17 — logical CNOT cancellation ratios",
+    claim=(
+        "On the all-to-all device Tetris' cancellation ratio sits between "
+        "Paulihedral and the max-cancel bound and grows with molecule size."
+    ),
+    grid="molecules x (JW, BK) x (paulihedral, tetris, max-cancel) on full",
+    columns=("bench", "encoder", "ph", "tetris", "max_cancel"),
+    compilers=("paulihedral", "tetris", "max-cancel"),
+    devices=("full",),
+    pins=(
+        PinnedMetric(
+            where={"bench": "LiH", "encoder": "JW"}, column="tetris",
+            expected=0.507, abs_tol=0.005,
+        ),
+    ),
+    runtime_hint="~1 s smoke / ~4 s small serial",
+)

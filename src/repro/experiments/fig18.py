@@ -12,7 +12,8 @@ from typing import Dict, List, Sequence
 
 from ..analysis import improvement
 from ..service import CompileJob, run_batch
-from .common import MOLECULES_BY_SCALE, SYNTHETIC_BY_SCALE, check_scale
+from .common import MOLECULES_BY_SCALE, SYNTHETIC_BY_SCALE, check_scale, text_main
+from .spec import ExperimentSpec, PinnedMetric
 
 
 def run(
@@ -20,6 +21,7 @@ def run(
     encoders: Sequence[str] = ("JW", "BK"),
     include_synthetic: bool = True,
 ) -> List[Dict]:
+    """Total-CNOT rows with the SWAP-induced share for each compiler."""
     check_scale(scale)
     groups = [(encoder, MOLECULES_BY_SCALE[scale]) for encoder in encoders]
     if include_synthetic:
@@ -61,7 +63,33 @@ def run(
     return rows
 
 
-def main(scale: str = "small") -> str:
-    from ..analysis import format_table
+main = text_main(run)
 
-    return format_table(run(scale))
+EXPERIMENT = ExperimentSpec(
+    id="fig18",
+    kind="figure",
+    title="Fig. 18 — logical vs SWAP-induced CNOT breakdown",
+    claim=(
+        "Paulihedral pays the smallest SWAP bill and max-cancel by far "
+        "the largest; Tetris sits between and still wins on total CNOTs."
+    ),
+    grid="(molecules x JW,BK + UCC-n x JW) x (paulihedral, tetris, max-cancel)",
+    columns=(
+        "bench", "encoder",
+        "ph_cnot", "ph_swap_cnot", "tetris_cnot", "tetris_swap_cnot",
+        "max_cnot", "max_swap_cnot", "tetris_impr_%",
+    ),
+    compilers=("paulihedral", "tetris", "max-cancel"),
+    devices=("heavy-hex:ibm-65",),
+    pins=(
+        PinnedMetric(
+            where={"bench": "LiH", "encoder": "JW"}, column="max_swap_cnot",
+            expected=2154,
+        ),
+        PinnedMetric(
+            where={"bench": "LiH", "encoder": "JW"}, column="ph_swap_cnot",
+            expected=42,
+        ),
+    ),
+    runtime_hint="~2 s smoke / ~30 s small serial",
+)

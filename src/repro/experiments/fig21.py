@@ -12,10 +12,12 @@ from typing import Dict, List
 from ..analysis import compile_and_measure, improvement
 from ..compiler import PaulihedralCompiler, TetrisCompiler
 from ..hardware import resolve_device
-from .common import MOLECULES_BY_SCALE, check_scale, workload
+from .common import MOLECULES_BY_SCALE, check_scale, text_main, workload
+from .spec import ExperimentSpec, PinnedMetric
 
 
 def run(scale: str = "small") -> List[Dict]:
+    """PH-vs-Tetris CNOT/depth/SWAP rows on the Sycamore lattice."""
     check_scale(scale)
     coupling = resolve_device("sycamore")
     rows: List[Dict] = []
@@ -43,7 +45,28 @@ def run(scale: str = "small") -> List[Dict]:
     return rows
 
 
-def main(scale: str = "small") -> str:
-    from ..analysis import format_table
+main = text_main(run)
 
-    return format_table(run(scale))
+EXPERIMENT = ExperimentSpec(
+    id="fig21",
+    kind="figure",
+    title="Fig. 21 — PH vs Tetris on Google Sycamore",
+    claim=(
+        "Denser Sycamore coupling shrinks everyone's SWAP bill, but "
+        "Tetris still wins depth and total CNOTs (paper: -18..-48% depth, "
+        "-25..-42% CNOT)."
+    ),
+    grid="molecules x (paulihedral, tetris) on sycamore:8x8",
+    columns=(
+        "bench", "ph_cnot", "tetris_cnot", "cnot_impr_%",
+        "ph_depth", "tetris_depth", "depth_impr_%",
+        "ph_swap_cnot", "tetris_swap_cnot",
+    ),
+    compilers=("paulihedral", "tetris"),
+    devices=("sycamore:8x8",),
+    pins=(
+        PinnedMetric(where={"bench": "LiH"}, column="ph_cnot", expected=2140),
+        PinnedMetric(where={"bench": "LiH"}, column="tetris_cnot", expected=2032),
+    ),
+    runtime_hint="~1 s smoke / ~15 s small serial",
+)

@@ -25,9 +25,12 @@ from .common import SCALES, default_scale
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The runner's argparse surface (kept separate for ``--help`` tests)."""
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures "
+                    "(see also: repro report, which renders all of them "
+                    "into docs/RESULTS.md with drift gating).",
     )
     parser.add_argument(
         "--experiment",
@@ -58,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    """Run the selected experiment(s), printing each text table."""
     args = build_parser().parse_args(argv)
     if not args.all and not args.experiment:
         build_parser().print_help()

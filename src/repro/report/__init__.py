@@ -1,0 +1,42 @@
+"""Unified experiment reports: manifest, artifact store, renderer, CLI.
+
+The experiments layer reproduces each paper table/figure as a row list;
+this package turns all of them into one self-verifying artifact:
+
+- :mod:`manifest` — the ``EXPERIMENTS`` registry collecting every
+  module's :class:`~repro.experiments.spec.ExperimentSpec` (id, claim,
+  grid, row schema, paper reference pairings, regression pins).
+- :mod:`store` — a content-addressed artifact store: experiment row
+  lists (plus their recorded runtime and provenance) persist keyed by a
+  hash of the request, so re-rendering the report is cache-warm and
+  byte-stable.
+- :mod:`render` — emits ``docs/RESULTS.md`` (markdown tables with
+  repro-vs-paper delta columns, per-experiment runtime and provenance)
+  and one CSV artifact per experiment.
+- :mod:`cli` — the ``repro report`` subcommand: ``--only`` to select
+  experiments, ``--quick`` for the subsampled CI grids, ``--check`` to
+  fail on pinned-metric drift.
+
+Typical use::
+
+    from repro.report import EXPERIMENTS, run_experiment, render_markdown
+
+    entry = EXPERIMENTS.get("table2")
+    outcome = run_experiment(entry, scale="smoke")
+    print(render_markdown([outcome], scale="smoke"))
+"""
+
+from .manifest import EXPERIMENTS, ManifestEntry, experiment_ids
+from .render import render_csv_artifacts, render_markdown
+from .store import ReportStore, RunOutcome, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ManifestEntry",
+    "experiment_ids",
+    "ReportStore",
+    "RunOutcome",
+    "run_experiment",
+    "render_markdown",
+    "render_csv_artifacts",
+]

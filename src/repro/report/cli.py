@@ -1,0 +1,188 @@
+"""The ``repro report`` subcommand.
+
+Sweeps every experiment in the manifest (or a ``--only`` subset) through
+the artifact store, renders ``docs/RESULTS.md`` plus per-experiment CSV
+artifacts, and — with ``--check`` — gates the run on the manifest's
+pinned metrics and row schemas::
+
+    repro report --quick --check                  # CI: smoke grids + drift gate
+    repro report --only table2,fig14 --scale small
+    repro report --list                           # manifest ids + claims
+    repro report --quick --refresh                # ignore stored artifacts
+
+``--quick`` selects the subsampled smoke-scale grids every experiment
+defines for CI; compile cells still go through the service cache, and
+finished row lists persist in the report store, so re-renders are warm
+and byte-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from ..experiments.common import default_scale
+from ..experiments.spec import check_pins, row_check
+from ..registry import RegistryError
+from ..service.cache import CACHE_DIR_ENV, CACHE_TOGGLE_ENV
+from ..service.pool import JOBS_ENV
+from ..workloads import SCALES
+from .manifest import EXPERIMENTS, experiment_ids, select_entries
+from .render import render_csv_artifacts, render_markdown
+from .store import REPORT_DIR_ENV, ReportStore, run_experiment
+
+DEFAULT_OUT = os.path.join("docs", "RESULTS.md")
+DEFAULT_CSV_DIR = os.path.join("docs", "results")
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Regenerate the unified experiment report (RESULTS.md).",
+    )
+    parser.add_argument("--only", default="",
+                        help="comma-separated experiment ids (default: all; "
+                             "see --list)")
+    parser.add_argument("--scale", choices=SCALES, default=default_scale(),
+                        help="workload scale for every experiment "
+                             "(default: $REPRO_SCALE or small)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI mode: the subsampled smoke-scale grids "
+                             "(equivalent to --scale smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) if any pinned metric drifts "
+                             "beyond tolerance or a row schema changed")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"markdown output path (default: {DEFAULT_OUT})")
+    parser.add_argument("--csv-dir", default=DEFAULT_CSV_DIR,
+                        help="per-experiment CSV directory (default: "
+                             f"{DEFAULT_CSV_DIR}; 'none' disables CSVs)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute every experiment, ignoring stored "
+                             "artifacts (results are re-stored)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="bypass the report artifact store entirely")
+    parser.add_argument("--store-dir", default="",
+                        help=f"artifact store root (default: ${REPORT_DIR_ENV} "
+                             "or <cache>/report)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for compile grids "
+                             "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--cache-dir", default="",
+                        help="compile-result cache root (default: "
+                             f"${CACHE_DIR_ENV} or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the compile-result cache for this run")
+    parser.add_argument("--list", action="store_true",
+                        help="print the manifest (id, kind, title, claim) "
+                             "and exit")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress per-experiment progress lines")
+    return parser
+
+
+def print_manifest() -> None:
+    """The ``--list`` view: every manifest entry with its claim."""
+    for exp_id in experiment_ids():
+        spec = EXPERIMENTS.get(exp_id).spec
+        print(f"{exp_id} ({spec.kind}): {spec.title}")
+        print(f"    {spec.claim}")
+        if spec.runtime_hint:
+            print(f"    runtime: {spec.runtime_hint}")
+
+
+def report_main(argv: Optional[List[str]] = None) -> int:
+    parser = build_report_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        print_manifest()
+        return 0
+    # Experiments call run_batch() internally with no parameter path, so
+    # worker/cache knobs travel via the environment (same channel the
+    # experiments runner uses) — but restored on exit, so programmatic
+    # callers don't leak --no-cache/--jobs into later in-process work.
+    overrides = {}
+    if args.jobs is not None:
+        overrides[JOBS_ENV] = str(args.jobs)
+    if args.cache_dir:
+        overrides[CACHE_DIR_ENV] = args.cache_dir
+    if args.no_cache:
+        overrides[CACHE_TOGGLE_ENV] = "off"
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        return _report_run(parser, args)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _report_run(parser: argparse.ArgumentParser, args) -> int:
+    scale = "smoke" if args.quick else args.scale
+    try:
+        entries = select_entries(
+            [label for label in args.only.split(",") if label]
+        )
+    except RegistryError as exc:
+        parser.error(str(exc))
+    store = None if args.no_store else ReportStore(args.store_dir or None)
+
+    outcomes = []
+    problems: List[str] = []
+    start = time.perf_counter()
+    for entry in entries:
+        outcome = run_experiment(
+            entry, scale=scale, store=store, refresh=args.refresh
+        )
+        outcomes.append(outcome)
+        if not args.quiet:
+            source = "store" if outcome.from_store else "computed"
+            print(f"[{len(outcomes)}/{len(entries)}] {entry.id}: "
+                  f"{len(outcome.rows)} rows, "
+                  f"{outcome.runtime_seconds:.2f}s ({source})")
+        if args.check:
+            problems.extend(row_check(entry.spec, outcome.rows))
+            for result in check_pins(entry.spec, outcome.rows, scale):
+                if not result.ok:
+                    problems.append(result.describe())
+                elif not args.quiet:
+                    print(f"    {result.describe()}")
+
+    csv_dir = None if args.csv_dir.lower() == "none" else args.csv_dir
+    csv_rel = None
+    if csv_dir:
+        render_csv_artifacts(outcomes, csv_dir)
+        csv_rel = os.path.relpath(
+            csv_dir, os.path.dirname(os.path.abspath(args.out))
+        ).replace(os.sep, "/")
+    document = render_markdown(
+        outcomes, scale=scale, quick=args.quick, csv_dir_rel=csv_rel
+    )
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as handle:
+        handle.write(document)
+
+    elapsed = time.perf_counter() - start
+    print(f"report: {len(outcomes)} experiments in {elapsed:.1f}s "
+          f"-> {args.out}" + (f" + {csv_dir}/*.csv" if csv_dir else ""))
+    if problems:
+        print(f"check: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.check:
+        pins = sum(len(e.spec.pins_for_scale(scale)) for e in entries)
+        print(f"check: ok ({pins} pinned metrics at scale {scale!r}, "
+              f"{len(entries)} row schemas)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(report_main())

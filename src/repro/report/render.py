@@ -1,0 +1,239 @@
+"""Render experiment outcomes to ``docs/RESULTS.md`` + CSV artifacts.
+
+The markdown report is deliberately deterministic: every value comes
+from the outcomes' rows (which round-trip through the artifact store),
+runtimes are the *recorded* wall-clocks, and nothing in the output
+depends on the clock, the host, or dict iteration order — so a
+cache-warm re-render is byte-identical, which CI asserts.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import re
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..analysis.tables import format_cell
+from .store import RunOutcome
+
+#: The source paper, quoted in the report header.
+PAPER_ID = "conf_isca_JinLHHZHZ24"
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor id for a markdown heading.
+
+    Lowercase, markdown markup dropped (backticks/emphasis markers,
+    links reduced to their text), anything that is not a word character,
+    space, or hyphen removed, spaces become hyphens.  Literal
+    underscores survive (GitHub keeps them).  The same algorithm lives
+    in ``tools/check_links.py``, which validates the links this builds —
+    ``tests/test_report.py`` asserts the two copies agree.
+    """
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*]", "", slug)
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _display(value: Any) -> str:
+    """One markdown cell: stable float formatting, blanks for missing."""
+    if value is None or value == "":
+        return ""
+    return format_cell(value)
+
+
+def _table_columns(
+    spec_columns: Sequence[str], rows: Sequence[Mapping[str, Any]]
+) -> List[str]:
+    """Declared columns (in declared order) then extras (sorted).
+
+    Only columns that actually occur in ``rows`` are kept — with
+    ``section_by`` experiments each section renders just its own part of
+    the schema.  Extras sort alphabetically because stored rows carry
+    sorted keys; the result is identical for fresh and store-served rows.
+    """
+    present = set()
+    for row in rows:
+        present.update(row.keys())
+    columns = [column for column in spec_columns if column in present]
+    columns += sorted(present - set(spec_columns))
+    return columns
+
+
+def markdown_table(
+    rows: Sequence[Mapping[str, Any]], columns: Sequence[str]
+) -> str:
+    """A GitHub-flavored markdown table over the given columns."""
+    if not rows:
+        return "*(no rows)*"
+    header = "| " + " | ".join(columns) + " |"
+    ruler = "|" + "|".join("---" for _ in columns) + "|"
+    lines = [header, ruler]
+    for row in rows:
+        cells = [_display(row.get(column)) for column in columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _delta_rows(outcome: RunOutcome) -> List[Dict[str, Any]]:
+    """Rows with the spec's repro-vs-paper delta columns appended.
+
+    A delta column holds ``repro - paper`` (rounded) when both sides are
+    numeric, blank where the paper does not report the cell.
+    """
+    spec = outcome.spec
+    if not spec.deltas:
+        return list(outcome.rows)
+    augmented = []
+    for row in outcome.rows:
+        extended = dict(row)
+        for label, repro_col, paper_col in spec.deltas:
+            repro_val, paper_val = row.get(repro_col), row.get(paper_col)
+            if isinstance(repro_val, (int, float)) and isinstance(
+                paper_val, (int, float)
+            ):
+                extended[label] = round(repro_val - paper_val, 4)
+            else:
+                extended[label] = ""
+        augmented.append(extended)
+    return augmented
+
+
+def _delta_columns(outcome: RunOutcome, columns: List[str]) -> List[str]:
+    """Insert each delta column right after its paper-reference column."""
+    ordered = list(columns)
+    for label, _repro_col, paper_col in outcome.spec.deltas:
+        if label in ordered:
+            ordered.remove(label)
+        if paper_col in ordered:
+            ordered.insert(ordered.index(paper_col) + 1, label)
+        else:
+            ordered.append(label)
+    return ordered
+
+
+def _section_heading(outcome: RunOutcome) -> str:
+    return f"{outcome.spec.id} · {outcome.spec.title}"
+
+
+def _render_section(outcome: RunOutcome, csv_dir_rel: Optional[str]) -> List[str]:
+    spec = outcome.spec
+    lines = [f"## {_section_heading(outcome)}", ""]
+    lines += [f"**Claim.** {spec.claim}", ""]
+    lines += [f"**Grid.** {spec.grid}", ""]
+    provenance = []
+    if spec.compilers:
+        provenance.append("compilers: " + ", ".join(spec.compilers))
+    if spec.devices:
+        provenance.append("devices: " + ", ".join(spec.devices))
+    provenance.append(
+        f"spec version {outcome.provenance.get('spec_version', '?')}"
+    )
+    lines += ["**Provenance.** " + "; ".join(provenance) + ".", ""]
+    lines += [
+        f"**Runtime.** {outcome.runtime_seconds:.2f} s "
+        "(wall-clock recorded when the rows were computed; warm re-renders "
+        "reuse the stored value).",
+        "",
+    ]
+    rows = _delta_rows(outcome)
+    if spec.section_by:
+        groups: Dict[Any, List[Dict[str, Any]]] = {}
+        for row in rows:
+            groups.setdefault(row.get(spec.section_by), []).append(row)
+        for key in sorted(groups, key=str):
+            lines += [f"### {spec.id} ({spec.section_by}={key})", ""]
+            group = groups[key]
+            columns = _delta_columns(
+                outcome, _table_columns(spec.columns, group)
+            )
+            lines += [markdown_table(group, columns), ""]
+    else:
+        columns = _delta_columns(outcome, _table_columns(spec.columns, rows))
+        lines += [markdown_table(rows, columns), ""]
+    if spec.deltas:
+        pairings = "; ".join(
+            f"`{label}` = `{repro_col}` − `{paper_col}`"
+            for label, repro_col, paper_col in spec.deltas
+        )
+        lines += [f"Paper-delta columns: {pairings}.", ""]
+    if csv_dir_rel is not None:
+        csv_rel = f"{csv_dir_rel}/{spec.id}.csv"
+        lines += [f"Rows as CSV: [`{csv_rel}`]({csv_rel})", ""]
+    return lines
+
+
+def render_markdown(
+    outcomes: Sequence[RunOutcome],
+    scale: str,
+    quick: bool = False,
+    csv_dir_rel: Optional[str] = "results",
+) -> str:
+    """The full RESULTS.md document for the given outcomes."""
+    total_runtime = sum(outcome.runtime_seconds for outcome in outcomes)
+    command = "repro report --quick" if quick else f"repro report --scale {scale}"
+    lines = [
+        f"# RESULTS — {PAPER_ID} reproduction",
+        "",
+        f"Every table and figure of {PAPER_ID}, regenerated by this repo's",
+        f"experiment manifest (`repro.report`).  Generated with `{command}`",
+        f"at scale `{scale}`"
+        + (" (subsampled CI grids — see `docs/REPRODUCING.md` for the"
+           " paper-scale commands)" if scale != "full" else "")
+        + ".",
+        "",
+        "Regenerate with `repro report" + (" --quick" if quick else
+                                           f" --scale {scale}") + "`; "
+        "a cache-warm rerun is byte-identical (CI asserts this). "
+        "`--check` additionally gates every pinned metric against drift.",
+        "",
+        "## Summary",
+        "",
+        "| experiment | kind | rows | recorded runtime |",
+        "|---|---|---|---|",
+    ]
+    for outcome in outcomes:
+        spec = outcome.spec
+        anchor = github_slug(_section_heading(outcome))
+        lines.append(
+            f"| [{spec.id}](#{anchor}) | {spec.kind} | {len(outcome.rows)} "
+            f"| {outcome.runtime_seconds:.2f} s |"
+        )
+    lines += [
+        "",
+        f"Total recorded runtime: {total_runtime:.2f} s.",
+        "",
+    ]
+    for outcome in outcomes:
+        lines += _render_section(outcome, csv_dir_rel)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_csv_artifacts(
+    outcomes: Sequence[RunOutcome], directory: str
+) -> List[str]:
+    """One ``<id>.csv`` per outcome under ``directory``; returns paths.
+
+    Column order matches the rendered table (minus the computed delta
+    columns — CSVs carry the raw rows).  Rows with partial schemas
+    (sectioned experiments) get empty cells for the columns they lack.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for outcome in outcomes:
+        columns = _table_columns(outcome.spec.columns, outcome.rows)
+        path = os.path.join(directory, f"{outcome.spec.id}.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(
+                handle, fieldnames=columns, restval="", extrasaction="ignore"
+            )
+            writer.writeheader()
+            for row in outcome.rows:
+                writer.writerow(
+                    {k: ("" if v is None else v) for k, v in row.items()}
+                )
+        paths.append(path)
+    return paths

@@ -1,0 +1,223 @@
+"""Content-addressed artifact store for experiment row lists.
+
+The compile-level cache (:mod:`repro.service.cache`) makes individual
+grid cells warm; this store adds the experiment-level layer on top: the
+finished row list of one ``run(scale)`` invocation, plus the wall-clock
+runtime recorded when it actually computed and the grid's provenance.
+
+Artifacts are keyed by a content hash covering the report schema, the
+service :data:`~repro.service.jobs.SPEC_VERSION`, the experiment's full
+declarative spec, and the requested scale — so editing an experiment's
+manifest (columns, grid, pins) or bumping the compiler spec version
+invalidates exactly the affected artifacts.  A warm re-render reads
+rows *and* runtime from the store, which is what makes a repeated
+``repro report`` run byte-identical: nothing time-dependent is
+recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import numbers
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..service.cache import default_cache_dir
+from ..service.jobs import SPEC_VERSION
+from .manifest import ManifestEntry
+
+#: Schema version of stored report artifacts.  Bump when the payload
+#: layout or the row post-processing changes (old artifacts become
+#: misses and recompute).
+REPORT_SCHEMA = 1
+
+REPORT_DIR_ENV = "REPRO_REPORT_DIR"
+
+
+def default_report_dir() -> str:
+    """``$REPRO_REPORT_DIR``, or ``report/`` under the service cache root."""
+    return os.environ.get(REPORT_DIR_ENV) or os.path.join(
+        default_cache_dir(), "report"
+    )
+
+
+@dataclass
+class RunOutcome:
+    """One experiment's rows plus the bookkeeping the renderer needs.
+
+    ``runtime_seconds`` is the wall-clock of the run that actually
+    computed the rows; an outcome served from the store carries the
+    recorded value (and ``from_store=True``), never a fresh measurement.
+    """
+
+    entry: ManifestEntry
+    scale: str
+    rows: List[Dict[str, Any]]
+    runtime_seconds: float
+    from_store: bool = False
+    provenance: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def spec(self):
+        return self.entry.spec
+
+
+class ReportStore:
+    """A directory of experiment artifacts keyed by request hash."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_report_dir()
+
+    def request_hash(self, entry: ManifestEntry, scale: str) -> str:
+        """Deterministic sha256 over everything that shapes the rows."""
+        payload = json.dumps(
+            {
+                "report_schema": REPORT_SCHEMA,
+                "spec_version": SPEC_VERSION,
+                "scale": scale,
+                "spec": asdict(entry.spec),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, entry: ManifestEntry, scale: str) -> str:
+        digest = self.request_hash(entry, scale)
+        return os.path.join(self.root, f"{entry.id}-{scale}-{digest[:16]}.json")
+
+    def get(self, entry: ManifestEntry, scale: str) -> Optional[RunOutcome]:
+        """The stored outcome for this request, or None on miss."""
+        path = self._path(entry, scale)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            # Corrupt artifact: drop it and recompute.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        if payload.get("schema") != REPORT_SCHEMA:
+            return None
+        return RunOutcome(
+            entry=entry,
+            scale=scale,
+            rows=payload["rows"],
+            runtime_seconds=payload["runtime_seconds"],
+            from_store=True,
+            provenance=payload.get("provenance", {}),
+        )
+
+    def put(self, outcome: RunOutcome) -> bool:
+        """Persist an outcome atomically (write to temp, rename)."""
+        path = self._path(outcome.entry, outcome.scale)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "schema": REPORT_SCHEMA,
+            "id": outcome.entry.id,
+            "scale": outcome.scale,
+            "rows": outcome.rows,
+            "runtime_seconds": outcome.runtime_seconds,
+            "provenance": outcome.provenance,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Remove every stored artifact; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for name in sorted(os.listdir(self.root)):
+            if name.endswith(".json") and not name.startswith(".tmp-"):
+                try:
+                    os.remove(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def _row_value(value: Any):
+    """JSON fallback for row values: numeric scalars coerce, rest fails.
+
+    Numpy scalars (``np.int64`` counts, ``np.float64`` ratios) are
+    ``numbers.Integral``/``Real`` without being JSON types — coerce them
+    to plain int/float so pins, delta columns, and cell formatting see
+    real numbers.  Anything else is a schema bug in the experiment and
+    must fail loudly, not silently stringify.
+    """
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    raise TypeError(
+        f"experiment row value {value!r} ({type(value).__name__}) is not "
+        "JSON-serializable; emit plain int/float/str/None cells"
+    )
+
+
+def _provenance(entry: ManifestEntry) -> Dict[str, Any]:
+    spec = entry.spec
+    return {
+        "spec_version": SPEC_VERSION,
+        "compilers": list(spec.compilers),
+        "devices": list(spec.devices),
+        "grid": spec.grid,
+    }
+
+
+def run_experiment(
+    entry: ManifestEntry,
+    scale: str = "small",
+    store: Optional[ReportStore] = None,
+    refresh: bool = False,
+) -> RunOutcome:
+    """Rows for one experiment, store-first.
+
+    With a ``store``, a hit returns the persisted rows and recorded
+    runtime; a miss (or ``refresh=True``) runs the experiment, times it,
+    and persists the outcome.  Rows round-trip through JSON before being
+    returned so a fresh run and a stored one are indistinguishable to
+    the renderer (tuples become lists, keys become strings and sort the
+    same way the store serializes them, both ways).
+    """
+    if store is not None and not refresh:
+        hit = store.get(entry, scale)
+        if hit is not None:
+            return hit
+    start = time.perf_counter()
+    rows = entry.run(scale)
+    runtime = time.perf_counter() - start
+    rows = json.loads(json.dumps(rows, sort_keys=True, default=_row_value))
+    outcome = RunOutcome(
+        entry=entry,
+        scale=scale,
+        rows=rows,
+        runtime_seconds=round(runtime, 2),
+        provenance=_provenance(entry),
+    )
+    if store is not None:
+        store.put(outcome)
+    return outcome

@@ -112,10 +112,12 @@ METRIC_COLUMNS = tuple(
 
 
 def compiler_names() -> List[str]:
+    """Canonical compiler registry names (no aliases), sorted."""
     return COMPILERS.names()
 
 
 def make_compiler(name: str, params: Mapping[str, Any]):
+    """Instantiate a registered compiler by name/alias with ``params``."""
     return COMPILERS.get(name)(**dict(params))
 
 

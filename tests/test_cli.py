@@ -55,6 +55,11 @@ class TestCli:
         assert "synth-tetris:" in out
         assert "order-similarity:" in out
 
+    def test_report_subcommand_dispatches(self, capsys):
+        assert cli.main(["report", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig24" in out
+
     def test_unknown_device(self):
         with pytest.raises(SystemExit):
             cli.main(["--bench", "LiH", "--device", "torus"])

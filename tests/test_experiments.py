@@ -41,6 +41,24 @@ class TestRegistry:
             assert hasattr(module, "run")
             assert hasattr(module, "main")
 
+    def test_every_module_declares_a_manifest_spec(self):
+        for name, module in REGISTRY.items():
+            spec = module.EXPERIMENT
+            assert spec.id == name
+            assert spec.kind in ("table", "figure")
+            assert spec.claim and spec.grid and spec.columns
+            for pin in spec.pins:
+                assert pin.scale in ("smoke", "small", "full")
+
+    def test_smoke_rows_carry_declared_columns(self):
+        """The manifest's row schema matches what run() actually emits
+        (spot-checked on the cheap experiments; `repro report --check`
+        covers all of them in CI)."""
+        for module in (table1, fig23):
+            rows = module.run("smoke")
+            for column in module.EXPERIMENT.columns:
+                assert all(column in row for row in rows), column
+
 
 class TestRuns:
     """Each experiment runs at smoke scale and satisfies its key invariant."""

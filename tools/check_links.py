@@ -1,14 +1,21 @@
 #!/usr/bin/env python
-"""Markdown link checker for the repo's documentation.
+"""Markdown link and anchor checker for the repo's documentation.
 
 Scans the given markdown files (or the repo's standard doc set when
-called with no arguments) for inline links and validates every
-*relative* link: the target file must exist, relative to the file the
-link appears in.  External links (http/https/mailto) and pure anchors
-are skipped — this is an offline check meant for CI.
+called with no arguments) for inline links and validates:
 
-Exit status: 0 when every relative link resolves, 1 otherwise (each
-broken link is reported as ``file:line: target``).
+- every *relative* link: the target file must exist, relative to the
+  file the link appears in;
+- every *anchor fragment*: a ``#section`` link (same-file) or a
+  ``other.md#section`` link must name a real heading in the target
+  file, using GitHub's heading-to-anchor slug algorithm (lowercase,
+  markup stripped, punctuation dropped, spaces to hyphens, ``-1``/``-2``
+  suffixes for duplicate headings).
+
+External links (http/https/mailto) are skipped — this is an offline
+check meant for CI.  Exit status: 0 when every link and anchor
+resolves, 1 otherwise (each problem is reported as ``file:line:
+target``).
 """
 
 from __future__ import annotations
@@ -20,11 +27,32 @@ from pathlib import Path
 #: Inline markdown links: [text](target) — images included.
 LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
+#: ATX headings (``# ...`` .. ``###### ...``).
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: Explicit HTML anchors (``<a name="..."></a>`` / ``id="..."``).
+HTML_ANCHOR = re.compile(r"<a\s+(?:name|id)=\"([^\"]+)\"")
+
 #: Fenced code blocks are skipped (links in examples aren't navigation).
 FENCE = re.compile(r"^\s*(```|~~~)")
 
 DEFAULT_DOCS = ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md",
-                "docs", "examples")
+                "PAPERS.md", "docs", "examples")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor id for one heading (before duplicate suffixing).
+
+    Mirrors ``repro.report.render.github_slug`` — the renderer builds
+    its summary-table links with the same algorithm this checker
+    validates against (``tests/test_report.py`` asserts the two copies
+    agree).  Literal underscores survive: GitHub keeps them in anchors.
+    """
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*]", "", slug)        # inline markup markers
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links -> text
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
 
 
 def iter_markdown(paths):
@@ -36,9 +64,43 @@ def iter_markdown(paths):
             yield path
 
 
-def check_file(path: Path):
+def collect_anchors(path: Path) -> set:
+    """Every anchor id ``path`` defines (headings + explicit HTML ids)."""
+    anchors = set()
+    seen_slugs: dict = {}
+    in_fence = False
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return anchors
+    for line in lines:
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            slug = github_slug(match.group(2))
+            count = seen_slugs.get(slug, 0)
+            seen_slugs[slug] = count + 1
+            anchors.add(slug if count == 0 else f"{slug}-{count}")
+        for anchor in HTML_ANCHOR.findall(line):
+            anchors.add(anchor)
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: dict):
+    """(lineno, target, reason) for every broken link/anchor in ``path``."""
     broken = []
     in_fence = False
+
+    def anchors_of(target: Path) -> set:
+        key = target.resolve()
+        if key not in anchor_cache:
+            anchor_cache[key] = collect_anchors(target)
+        return anchor_cache[key]
+
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         if FENCE.match(line):
             in_fence = not in_fence
@@ -47,11 +109,21 @@ def check_file(path: Path):
             continue
         for match in LINK.finditer(line):
             target = match.group(1)
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if target.startswith("#"):
+                # Same-file anchor.
+                if target[1:] not in anchors_of(path):
+                    broken.append((lineno, target, "missing anchor"))
+                continue
+            file_part, _, fragment = target.partition("#")
+            resolved = (path.parent / file_part).resolve()
             if not resolved.exists():
-                broken.append((lineno, target))
+                broken.append((lineno, target, "missing file"))
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in anchors_of(resolved):
+                    broken.append((lineno, target, "missing anchor"))
     return broken
 
 
@@ -63,12 +135,13 @@ def main(argv=None) -> int:
         print("check_links: no markdown files found", file=sys.stderr)
         return 1
     failures = 0
+    anchor_cache: dict = {}
     for path in files:
-        for lineno, target in check_file(path):
-            print(f"{path}:{lineno}: broken link -> {target}")
+        for lineno, target, reason in check_file(path, anchor_cache):
+            print(f"{path}:{lineno}: {reason} -> {target}")
             failures += 1
     print(f"check_links: {len(files)} files, "
-          f"{failures} broken link(s)")
+          f"{failures} broken link(s)/anchor(s)")
     return 1 if failures else 0
 
 
