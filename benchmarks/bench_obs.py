@@ -1,0 +1,151 @@
+"""Observability overhead: the disabled no-op path must stay free.
+
+Two measurements back the "zero overhead when disabled" claim of
+:mod:`repro.obs`:
+
+1. **Micro**: nanoseconds per ``with obs.span(...)`` entered/exited with
+   tracing disabled, against an empty-``with`` baseline — the no-op path
+   returns one shared object and reads no clocks, so this should be a
+   few hundred nanoseconds of function-call cost at most.
+2. **End-to-end**: a smoke-scale LiH compile through the full pipeline
+   with tracing disabled vs inside a tracing session.  The disabled run
+   exercises every instrumented callsite (passes, cache, workload); the
+   traced run bounds what turning tracing on costs.
+
+``--gate`` turns the numbers into CI assertions: disabled span overhead
+under ``--max-span-ns`` (default 2000 ns — generous, typically ~300 ns)
+and the traced/disabled end-to-end ratio under ``--max-ratio``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick --gate \
+        [--out BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro import obs
+from repro.service import CompileJob, run_job
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class _Nothing:
+    """Baseline context manager: the floor for any ``with`` statement."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+def micro_overhead(iterations: int, repeats: int) -> dict:
+    """ns/op of a disabled span vs an empty context manager."""
+    assert not obs.tracing_enabled(), "micro benchmark needs tracing disabled"
+    nothing = _Nothing()
+
+    def baseline():
+        for _ in range(iterations):
+            with nothing:
+                pass
+
+    def disabled_span():
+        for _ in range(iterations):
+            with obs.span("bench:noop", "bench"):
+                pass
+
+    baseline_s = best_of(baseline, repeats)
+    span_s = best_of(disabled_span, repeats)
+    return {
+        "iterations": iterations,
+        "baseline_ns_per_op": 1e9 * baseline_s / iterations,
+        "disabled_span_ns_per_op": 1e9 * span_s / iterations,
+        "overhead_ns_per_op": max(0.0, 1e9 * (span_s - baseline_s) / iterations),
+    }
+
+
+def end_to_end(repeats: int) -> dict:
+    """Smoke compile wall time: tracing disabled vs an active session."""
+    job = CompileJob(bench="LiH", device="linear", scale="smoke", blocks=4)
+    run = lambda: run_job(job)  # noqa: E731
+    run()  # warm the workload memo so both sides time only compilation
+    disabled_s = best_of(run, repeats)
+
+    def traced():
+        with obs.trace():
+            run()
+
+    traced_s = best_of(traced, repeats)
+    return {
+        "job": job.label(),
+        "disabled_seconds": disabled_s,
+        "traced_seconds": traced_s,
+        "ratio": traced_s / disabled_s if disabled_s else 1.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller iteration counts (CI)")
+    parser.add_argument("--out", default="",
+                        help="write the measurements to this JSON file")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit non-zero when a threshold is exceeded")
+    parser.add_argument("--max-span-ns", type=float, default=2000.0,
+                        help="gate: max ns/op for a disabled span")
+    parser.add_argument("--max-ratio", type=float, default=1.5,
+                        help="gate: max traced/disabled end-to-end ratio")
+    args = parser.parse_args(argv)
+
+    iterations = 50_000 if args.quick else 200_000
+    micro = micro_overhead(iterations, repeats=5 if args.quick else 7)
+    e2e = end_to_end(repeats=3 if args.quick else 5)
+    payload = {"micro": micro, "end_to_end": e2e}
+
+    print(f"disabled span: {micro['disabled_span_ns_per_op']:.0f} ns/op "
+          f"(baseline {micro['baseline_ns_per_op']:.0f} ns/op, overhead "
+          f"{micro['overhead_ns_per_op']:.0f} ns/op)")
+    print(f"end-to-end {e2e['job']}: disabled {e2e['disabled_seconds']:.4f}s, "
+          f"traced {e2e['traced_seconds']:.4f}s (ratio {e2e['ratio']:.3f})")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+
+    if args.gate:
+        failures = []
+        if micro["disabled_span_ns_per_op"] > args.max_span_ns:
+            failures.append(
+                f"disabled span {micro['disabled_span_ns_per_op']:.0f} ns/op "
+                f"> {args.max_span_ns:.0f} ns/op"
+            )
+        if e2e["ratio"] > args.max_ratio:
+            failures.append(
+                f"traced/disabled ratio {e2e['ratio']:.3f} > {args.max_ratio}"
+            )
+        if failures:
+            for failure in failures:
+                print(f"bench_obs: FAIL: {failure}")
+            return 1
+        print("bench_obs: gates OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""Tracing quickstart: spans, metrics, and Perfetto export (repro.obs).
+
+A runnable tour of the observability layer:
+
+1. trace one in-process compile and print the summary tree;
+2. trace a 2-worker batch and show that worker spans merge into one
+   coherent cross-process trace;
+3. read the always-on metrics registry (cache hits, jobs executed,
+   per-pass wall-clock);
+4. export a Chrome/Perfetto ``trace.json`` and a JSONL span log;
+5. add a custom span around your own code.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/tracing_quickstart.py
+
+Then load ``example-trace.json`` in chrome://tracing or
+https://ui.perfetto.dev.  The same sessions are available from the
+command line as ``repro trace single ...`` / ``repro trace batch ...``
+or via ``REPRO_TRACE=trace.json repro ...``.
+"""
+
+import os
+import tempfile
+
+from repro import obs
+from repro.obs.metrics import METRICS
+from repro.service import CompileJob, ResultCache, run_batch, run_job
+
+OUT = "example-trace.json"
+SPAN_LOG = "example-spans.jsonl"
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. One traced compile.  obs.trace() installs a tracer for the
+    #    duration of the block; every instrumented layer (workload
+    #    build, pipeline passes, cache) records spans into it.
+    # ------------------------------------------------------------------
+    job = CompileJob(bench="chem:LiH", compiler="tetris", device="grid:4x4",
+                     scale="smoke", blocks=4)
+    with obs.trace() as tracer:
+        result = run_job(job, profile=True)
+    print(f"single compile: {len(tracer.spans)} spans, "
+          f"cnot={result.metrics.cnot_gates}")
+    print()
+    print(obs.summary_tree(tracer.spans, main_pid=tracer.pid))
+    print()
+
+    # Pass spans carry the profiler's own measurement of the same
+    # interval, so the two clocks can be reconciled span by span.
+    for span in tracer.spans:
+        if span.name.startswith("pass:"):
+            profiled = span.attrs["profile_seconds"]
+            print(f"  {span.name:<28} span {span.duration:.4f}s "
+                  f"vs profiled {profiled:.4f}s "
+                  f"(cnot delta {span.attrs['cnot_delta']:+d})")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. A traced 2-worker batch.  Workers record their own spans and
+    #    ship them back with each result; the parent merges them, so
+    #    the session holds one trace spanning every process.
+    # ------------------------------------------------------------------
+    jobs = [
+        CompileJob(bench=bench, compiler=compiler, device="grid:4x4",
+                   scale="smoke", blocks=4)
+        for bench in ("chem:LiH", "chem:BeH2")
+        for compiler in ("tetris", "paulihedral")
+    ]
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
+        with obs.trace(out=OUT, span_log=SPAN_LOG) as tracer:
+            with obs.span("example:batch", "example", jobs=len(jobs)):
+                results = run_batch(jobs, max_workers=2, cache=cache)
+        pids = sorted({span.pid for span in tracer.spans})
+        print(f"batch: {len(results)} results in submission order, "
+              f"{len(tracer.spans)} spans from {len(pids)} processes {pids}")
+        worker_names = sorted({
+            span.name for span in tracer.spans if span.pid != os.getpid()
+        })
+        print(f"worker-side spans: {', '.join(worker_names)}")
+        print(f"cache: {cache.stats.summary()}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Metrics are always on — no session required.  Counters add
+    #    across processes (workers drain per payload, the parent
+    #    merges), histograms pool.
+    # ------------------------------------------------------------------
+    snapshot = METRICS.snapshot()
+    print("metrics snapshot (selected):")
+    for name in ("jobs.executed", "cache.misses", "cache.puts",
+                 "workload.builds"):
+        if name in snapshot["counters"]:
+            print(f"  {name} = {snapshot['counters'][name]}")
+    passes = snapshot["histograms"].get("pipeline.pass_seconds")
+    if passes:
+        print(f"  pipeline.pass_seconds: n={passes['count']} "
+              f"total={passes['total']:.4f}s")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. The exports were written by the session above.
+    # ------------------------------------------------------------------
+    print(f"wrote {OUT} ({os.path.getsize(OUT)} bytes) — load it in "
+          f"chrome://tracing or ui.perfetto.dev")
+    print(f"wrote {SPAN_LOG} (one canonical JSON object per span)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. Custom spans cost nothing when tracing is off: obs.span()
+    #    returns a shared no-op object outside a session, so it is safe
+    #    to leave in library code permanently.
+    # ------------------------------------------------------------------
+    assert obs.span("outside-a-session") is obs.NULL_SPAN
+    print("outside a session obs.span() is a shared no-op "
+          "(zero overhead — gated by benchmarks/bench_obs.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,22 @@ per-experiment CSVs and regression gating — see :mod:`repro.report`)::
     python -m repro.cli report --only table2,fig14 --scale small
     python -m repro.cli report --list
 
+Trace mode runs single/batch compilation inside a tracing session
+(:mod:`repro.obs`) and exports a Perfetto-loadable ``trace.json``, an
+optional JSONL span log, and a terminal summary tree — including spans
+collected inside worker processes::
+
+    python -m repro.cli trace single --bench chem:LiH --profile-passes
+    python -m repro.cli trace batch --out trace.json --bench LiH,BeH2 \
+        --compiler tetris,paulihedral --scale smoke --jobs 2
+    REPRO_TRACE=trace.json python -m repro.cli batch --bench LiH ...
+
+Cache mode inspects and maintains the on-disk result cache::
+
+    python -m repro.cli cache stats
+    python -m repro.cli cache trim --max 500
+    python -m repro.cli cache clear
+
 Discover the vocabulary (families, aliases, and the parameter grammar)
 with ``--list-benchmarks``, ``--list-compilers``, and ``--list-devices``.
 """
@@ -43,6 +59,7 @@ import json
 import sys
 import time
 
+from . import obs
 from .analysis import format_table
 from .circuit import to_qasm
 from .hardware.families import DEVICE_FAMILIES, canonical_device_spec
@@ -177,12 +194,29 @@ def _single_compiler_params(args) -> dict:
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
+    # REPRO_TRACE traces any plain invocation without changing its args;
+    # `repro trace` manages its own session, so this is a no-op there.
+    with obs.env_trace() as trace_path:
+        if trace_path is not None:
+            print(f"tracing to {trace_path} (REPRO_TRACE)")
+        return _dispatch(argv)
+
+
+def _dispatch(argv) -> int:
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
     if argv and argv[0] == "report":
         from .report.cli import report_main
 
         return report_main(argv[1:])
+    return single_main(argv)
+
+
+def single_main(argv) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_benchmarks:
@@ -372,6 +406,93 @@ def batch_main(argv=None) -> int:
     for sink in sinks:
         print(f"wrote {sink.path} ({sink.count} rows)")
     return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# trace subcommand
+# ---------------------------------------------------------------------------
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli trace",
+        description="Run a single/batch compilation inside a tracing "
+                    "session and export the trace (see repro.obs). All "
+                    "flags after the mode are forwarded to that mode, so "
+                    "any 'repro' or 'repro batch' invocation can be traced "
+                    "by prefixing it with 'trace single' / 'trace batch'.",
+    )
+    parser.add_argument("mode", choices=["single", "batch"],
+                        help="which CLI mode to run under the tracer")
+    parser.add_argument("--out", default="trace.json",
+                        help="Chrome/Perfetto trace output path "
+                             "(default: trace.json)")
+    parser.add_argument("--span-log", default="",
+                        help="also write a JSONL span log to this path")
+    parser.add_argument("--no-summary", action="store_true",
+                        help="suppress the terminal span-summary tree")
+    return parser
+
+
+def trace_main(argv=None) -> int:
+    parser = build_trace_parser()
+    args, rest = parser.parse_known_args(argv)
+    with obs.trace(out=args.out, span_log=args.span_log or None) as tracer:
+        with obs.span(f"cli:{args.mode}", "cli"):
+            try:
+                code = (
+                    single_main(rest) if args.mode == "single"
+                    else batch_main(rest)
+                )
+            except SystemExit as exc:  # argparse errors inside the session
+                code = int(exc.code or 0)
+    if not args.no_summary:
+        print()
+        print(obs.summary_tree(tracer.spans, main_pid=tracer.pid))
+    print(f"wrote {args.out} ({len(tracer.spans)} spans; load in "
+          f"chrome://tracing or ui.perfetto.dev)")
+    if args.span_log:
+        print(f"wrote {args.span_log}")
+    return code
+
+
+# ---------------------------------------------------------------------------
+# cache subcommand
+# ---------------------------------------------------------------------------
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli cache",
+        description="Inspect and maintain the on-disk result cache.",
+    )
+    parser.add_argument("action", choices=["stats", "clear", "trim"])
+    parser.add_argument("--cache-dir", default="",
+                        help=f"cache root (default: ${CACHE_DIR_ENV} "
+                             f"or ~/.cache/repro)")
+    parser.add_argument("--max", type=int, default=1000,
+                        help="trim: keep at most this many entries "
+                             "(oldest evicted first; default 1000)")
+    return parser
+
+
+def cache_main(argv=None) -> int:
+    parser = build_cache_parser()
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir or None)
+    if args.action == "stats":
+        disk = cache.disk_stats()
+        print(f"cache root: {cache.root}")
+        print(f"caching: {'enabled' if cache_enabled() else 'disabled (REPRO_CACHE)'}")
+        print(f"entries: {disk['entries']}")
+        print(f"size: {disk['bytes']} bytes ({disk['bytes'] / 1e6:.2f} MB)")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cache entries from {cache.root}")
+        return 0
+    removed = cache.trim(args.max)
+    print(f"trimmed {removed} cache entries from {cache.root} "
+          f"(kept at most {args.max})")
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,221 @@
+"""Trace exporters: Chrome/Perfetto JSON, JSONL span log, summary tree.
+
+The Chrome export emits complete (``"ph": "X"``) events keyed by
+wall-clock microseconds, one per span, plus process/thread metadata
+events — the file loads directly in ``chrome://tracing`` and
+https://ui.perfetto.dev.  Nesting is implied by containment on each
+(pid, tid) track, which is exactly how the spans were recorded.
+
+The summary tree is the terminal view: spans aggregated by name within
+their parent chain, with total time, call counts, and self-time
+percentages — worker processes render as their own roots under a
+``process NNNN`` heading.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import METRICS, MetricsRegistry
+from .tracer import Span
+
+
+def _thread_label(tids: Sequence[int], tid: int) -> str:
+    """Small stable per-process thread names (main thread first seen)."""
+    index = sorted(set(tids)).index(tid)
+    return "main" if index == 0 else f"thread-{index}"
+
+
+def chrome_trace_events(
+    spans: Sequence[Span], main_pid: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list: metadata then one X event per span."""
+    events: List[Dict[str, Any]] = []
+    by_pid: Dict[int, List[int]] = {}
+    for span in spans:
+        by_pid.setdefault(span.pid, []).append(span.tid)
+    for pid in sorted(by_pid):
+        name = "repro (main)" if pid == main_pid else f"repro worker {pid}"
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+        for tid in sorted(set(by_pid[pid])):
+            events.append(
+                {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                 "args": {"name": _thread_label(by_pid[pid], tid)}}
+            )
+    for span in sorted(spans, key=lambda s: (s.pid, s.tid, s.start, -s.duration)):
+        args: Dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    spans: Sequence[Span],
+    main_pid: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """The full Perfetto-loadable document (metrics ride in otherData)."""
+    registry = METRICS if metrics is None else metrics
+    return {
+        "traceEvents": chrome_trace_events(spans, main_pid=main_pid),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "metrics": registry.snapshot(),
+        },
+    }
+
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span],
+    main_pid: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> str:
+    """Write the Chrome/Perfetto trace document; returns ``path``."""
+    document = to_chrome_trace(spans, main_pid=main_pid, metrics=metrics)
+    _atomic_write(path, json.dumps(document, sort_keys=True))
+    return path
+
+
+def write_span_log(path: str, spans: Sequence[Span]) -> str:
+    """One canonical JSON object per span, ordered by start time."""
+    lines = [
+        json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+        for span in sorted(spans, key=lambda s: (s.start, s.pid, s.tid))
+    ]
+    _atomic_write(path, "\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# terminal summary tree
+# ---------------------------------------------------------------------------
+
+class _Node:
+    """Aggregate of same-named sibling spans at one tree position."""
+
+    __slots__ = ("name", "count", "total", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.children: Dict[str, "_Node"] = {}
+
+    @property
+    def child_total(self) -> float:
+        return sum(child.total for child in self.children.values())
+
+    @property
+    def self_seconds(self) -> float:
+        return max(0.0, self.total - self.child_total)
+
+
+def _build_forest(spans: Sequence[Span]) -> Dict[int, List[_Node]]:
+    """Per-pid aggregate trees; orphan parents fall back to roots."""
+    by_key = {(span.pid, span.span_id): span for span in spans}
+    # Children grouped under their parent span instance first...
+    kids: Dict[Tuple[int, int], List[Span]] = {}
+    roots: Dict[int, List[Span]] = {}
+    for span in sorted(spans, key=lambda s: s.start):
+        parent = (span.pid, span.parent_id)
+        if span.parent_id is not None and parent in by_key:
+            kids.setdefault(parent, []).append(span)
+        else:
+            roots.setdefault(span.pid, []).append(span)
+
+    # ...then collapsed into name-keyed aggregate nodes, recursively.
+    def aggregate(group: List[Span], into: Dict[str, _Node]) -> None:
+        for span in group:
+            node = into.get(span.name)
+            if node is None:
+                node = into[span.name] = _Node(span.name)
+            node.count += 1
+            node.total += span.duration
+            aggregate(kids.get((span.pid, span.span_id), []), node.children)
+
+    forest: Dict[int, List[_Node]] = {}
+    for pid, group in roots.items():
+        nodes: Dict[str, _Node] = {}
+        aggregate(group, nodes)
+        forest[pid] = sorted(nodes.values(), key=lambda n: -n.total)
+    return forest
+
+
+def summary_tree(
+    spans: Sequence[Span],
+    main_pid: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    max_depth: int = 6,
+) -> str:
+    """Render the aggregated span tree with self-time percentages."""
+    if not spans:
+        return "trace summary: no spans recorded"
+    forest = _build_forest(spans)
+    pids = sorted(forest, key=lambda pid: (pid != main_pid, pid))
+    lines: List[str] = []
+    span_count = len(spans)
+    wall = max(s.end for s in spans) - min(s.start for s in spans)
+    lines.append(
+        f"trace summary: {span_count} spans across {len(forest)} "
+        f"process(es), {wall:.3f}s wall"
+    )
+
+    def render(node: _Node, depth: int, root_total: float) -> None:
+        if depth > max_depth:
+            return
+        pct = 100.0 * node.self_seconds / root_total if root_total else 0.0
+        lines.append(
+            f"  {'  ' * depth}{node.name:<{max(1, 34 - 2 * depth)}} "
+            f"{node.count:>4}x {node.total:>9.4f}s  self {pct:5.1f}%"
+        )
+        for child in sorted(node.children.values(), key=lambda n: -n.total):
+            render(child, depth + 1, root_total)
+
+    for pid in pids:
+        label = "main" if pid == main_pid else "worker"
+        lines.append(f"process {pid} ({label})")
+        for root in forest[pid]:
+            render(root, 0, root.total)
+    registry = METRICS if metrics is None else metrics
+    metric_lines = registry.summary_lines()
+    if metric_lines:
+        lines.append("metrics:")
+        lines.extend(f"  {line}" for line in metric_lines)
+    return "\n".join(lines)

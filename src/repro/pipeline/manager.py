@@ -12,6 +12,13 @@ Wall-clock accounting mirrors the pre-pipeline architecture:
 ``compile_seconds`` is the summed time of ``stage="synthesis"`` passes
 and ``optimize_seconds`` of ``stage="optimize"`` passes, so service rows
 stay comparable across the refactor.
+
+Observability: every run opens a ``pipeline:run`` span and every pass a
+``pass:<name>`` span (see :mod:`repro.obs`); profiled runs additionally
+attach the measured ``profile_seconds`` and metric deltas to each pass
+span, so traces and :class:`PipelineProfile` rows reconcile.  Pass wall
+clocks always feed the ``pipeline.pass_seconds`` histogram.  All of this
+is a no-op outside a tracing session apart from the histogram update.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ from ..compiler.base import (
     logical_cnot_count,
 )
 from ..hardware.coupling import CouplingGraph
+from ..obs.metrics import METRICS, PASS_SECONDS
+from ..obs.tracer import span as obs_span
 from ..pauli.block import PauliBlock
 from .base import Pass, PipelineError, PropertySet
 from .profile import PassProfile, PipelineProfile, snapshot
@@ -119,34 +128,54 @@ class PassManager:
         # snapshot is pass i's "after" — carry it forward instead of
         # re-scanning (snapshots cost a gate scan + depth computation).
         carried = snapshot(state.get("circuit")) if profile else None
-        for pass_ in self.passes:
-            for key in pass_.requires:
-                state.require(key, pass_.name)
-            before = carried
-            start = time.perf_counter()
-            pass_.run(state)
-            elapsed = time.perf_counter() - start
-            if pass_.stage == "optimize":
-                optimize_seconds += elapsed
-            else:
-                compile_seconds += elapsed
-            if profile:
-                after = snapshot(state.get("circuit"))
-                carried = after
-                profiles.append(
-                    PassProfile(
-                        name=pass_.name,
-                        kind=pass_.kind,
-                        stage=pass_.stage,
-                        seconds=elapsed,
-                        cnot_before=before.cnot,
-                        cnot_after=after.cnot,
-                        one_qubit_before=before.one_qubit,
-                        one_qubit_after=after.one_qubit,
-                        depth_before=before.depth,
-                        depth_after=after.depth,
+        with obs_span(
+            "pipeline:run", "pipeline", pipeline=self.name
+        ) as pipeline_span:
+            for pass_ in self.passes:
+                for key in pass_.requires:
+                    state.require(key, pass_.name)
+                before = carried
+                with obs_span(
+                    f"pass:{pass_.name}",
+                    "pipeline",
+                    stage=pass_.stage,
+                    kind=pass_.kind,
+                ) as pass_span:
+                    start = time.perf_counter()
+                    pass_.run(state)
+                    elapsed = time.perf_counter() - start
+                METRICS.histogram(PASS_SECONDS).observe(elapsed)
+                if pass_.stage == "optimize":
+                    optimize_seconds += elapsed
+                else:
+                    compile_seconds += elapsed
+                if profile:
+                    after = snapshot(state.get("circuit"))
+                    carried = after
+                    # Spans are live objects until the session exports, so
+                    # the profile deltas (computed after the span closed)
+                    # still land on the pass span in the trace.
+                    pass_span.set(
+                        profile_seconds=elapsed,
+                        cnot_delta=after.cnot - before.cnot,
+                        oneq_delta=after.one_qubit - before.one_qubit,
+                        depth_delta=after.depth - before.depth,
                     )
-                )
+                    profiles.append(
+                        PassProfile(
+                            name=pass_.name,
+                            kind=pass_.kind,
+                            stage=pass_.stage,
+                            seconds=elapsed,
+                            cnot_before=before.cnot,
+                            cnot_after=after.cnot,
+                            one_qubit_before=before.one_qubit,
+                            one_qubit_after=after.one_qubit,
+                            depth_before=before.depth,
+                            depth_after=after.depth,
+                        )
+                    )
+            pipeline_span.set(passes=len(self.passes))
         if state.get("circuit") is None:
             raise PipelineError(
                 f"pipeline {self.name!r} produced no circuit — it needs at "

@@ -26,6 +26,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..obs.tracer import span as obs_span, tracing_enabled
 from ..service.cache import default_cache_dir
 from ..service.jobs import SPEC_VERSION
 from .manifest import ManifestEntry
@@ -180,12 +181,18 @@ def _row_value(value: Any):
 
 def _provenance(entry: ManifestEntry) -> Dict[str, Any]:
     spec = entry.spec
-    return {
+    provenance = {
         "spec_version": SPEC_VERSION,
         "compilers": list(spec.compilers),
         "devices": list(spec.devices),
         "grid": spec.grid,
     }
+    # Recorded only when a tracing session was active for the computing
+    # run — untraced runs keep the pre-obs provenance payload (and the
+    # committed report artifacts) byte-identical.
+    if tracing_enabled():
+        provenance["traced"] = True
+    return provenance
 
 
 def run_experiment(
@@ -207,9 +214,10 @@ def run_experiment(
         hit = store.get(entry, scale)
         if hit is not None:
             return hit
-    start = time.perf_counter()
-    rows = entry.run(scale)
-    runtime = time.perf_counter() - start
+    with obs_span("experiment:run", "report", id=entry.id, scale=scale):
+        start = time.perf_counter()
+        rows = entry.run(scale)
+        runtime = time.perf_counter() - start
     rows = json.loads(json.dumps(rows, sort_keys=True, default=_row_value))
     outcome = RunOutcome(
         entry=entry,

@@ -18,8 +18,11 @@ from __future__ import annotations
 import os
 import tempfile
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from ..obs import metrics as obs_metrics
+from ..obs.metrics import METRICS
+from ..obs.tracer import span as obs_span
 from .jobs import CompileJob, JobResult
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -36,11 +39,21 @@ class CacheStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup in [0, 1] (0.0 when nothing was looked up)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
 
     def summary(self) -> str:
-        return f"cache: {self.hits} hits, {self.misses} misses, {self.puts} puts"
+        rate = f", {100.0 * self.hit_rate:.1f}% hit rate" if self.lookups else ""
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses{rate}, "
+            f"{self.puts} puts"
+        )
 
 
 #: Process-wide tally across every ResultCache instance (runner summaries).
@@ -79,52 +92,64 @@ class ResultCache:
 
     def get(self, job: CompileJob) -> Optional[JobResult]:
         """Cached result for ``job``, or None (counts a hit or a miss)."""
-        path = self._path(job.content_hash())
-        try:
-            with open(path) as handle:
-                result = JobResult.from_json(handle.read())
-        except FileNotFoundError:
-            self._miss()
-            return None
-        except (ValueError, KeyError, TypeError, OSError):
-            # Corrupt or stale-schema entry: drop it and treat as a miss.
+        job_hash = job.content_hash()
+        path = self._path(job_hash)
+        with obs_span(
+            "cache:get", "cache", key=job_hash[:12], label=job.label()
+        ) as sp:
             try:
-                os.remove(path)
-            except OSError:
-                pass
-            self._miss()
-            return None
-        result.cached = True
-        self.stats.hits += 1
-        GLOBAL_STATS.hits += 1
-        return result
+                with open(path) as handle:
+                    result = JobResult.from_json(handle.read())
+            except FileNotFoundError:
+                self._miss()
+                sp.set(hit=False)
+                return None
+            except (ValueError, KeyError, TypeError, OSError):
+                # Corrupt or stale-schema entry: drop it and treat as a miss.
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                self._miss()
+                sp.set(hit=False, corrupt=True)
+                return None
+            result.cached = True
+            self.stats.hits += 1
+            GLOBAL_STATS.hits += 1
+            METRICS.counter(obs_metrics.CACHE_HITS).inc()
+            sp.set(hit=True)
+            return result
 
     def put(self, result: JobResult) -> bool:
         """Store a successful result atomically; errored results are skipped."""
         if not result.ok:
             return False
-        path = self._path(result.job.content_hash())
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(result.to_json())
-            os.replace(tmp, path)
-        except OSError:
+        job_hash = result.job.content_hash()
+        path = self._path(job_hash)
+        with obs_span("cache:put", "cache", key=job_hash[:12]):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.remove(tmp)
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(result.to_json())
+                os.replace(tmp, path)
             except OSError:
-                pass
-            return False
-        self.stats.puts += 1
-        GLOBAL_STATS.puts += 1
-        return True
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                return False
+            self.stats.puts += 1
+            GLOBAL_STATS.puts += 1
+            METRICS.counter(obs_metrics.CACHE_PUTS).inc()
+            return True
 
     def _miss(self) -> None:
         self.stats.misses += 1
         GLOBAL_STATS.misses += 1
+        METRICS.counter(obs_metrics.CACHE_MISSES).inc()
 
     def _entries(self) -> List[str]:
         found: List[str] = []
@@ -166,4 +191,16 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        METRICS.counter(obs_metrics.CACHE_EVICTIONS).inc(removed)
         return removed
+
+    def disk_stats(self) -> Dict[str, int]:
+        """On-disk shape of the cache: entry count and total bytes."""
+        entries = self._entries()
+        size = 0
+        for path in entries:
+            try:
+                size += os.path.getsize(path)
+            except OSError:
+                pass
+        return {"entries": len(entries), "bytes": size}

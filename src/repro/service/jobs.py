@@ -368,9 +368,20 @@ def job_blocks(job: CompileJob):
     ``LiH`` (and a QAOA cell under either encoder label) share one
     entry.
     """
+    from ..obs.metrics import (
+        METRICS,
+        WORKLOAD_MEMO_HITS,
+        WORKLOAD_MEMO_MISSES,
+    )
+
     bench = canonical_bench(job.bench)
     encoder = job.encoder if uses_encoder(bench) else "JW"
+    memo_hits = _resolved_blocks.cache_info().hits
     blocks = list(_resolved_blocks(bench, encoder, job.scale))
+    if _resolved_blocks.cache_info().hits > memo_hits:
+        METRICS.counter(WORKLOAD_MEMO_HITS).inc()
+    else:
+        METRICS.counter(WORKLOAD_MEMO_MISSES).inc()
     if job.blocks > 0:
         blocks = blocks[: job.blocks]
     return blocks

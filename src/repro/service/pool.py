@@ -7,14 +7,32 @@ objects back **in submission order** — so consumers can zip results
 against their job list without bookkeeping.  With one worker (the
 default) everything runs in-process: no fork, no pickling, identical
 results.
+
+Observability: when a tracing session is active (:mod:`repro.obs`) the
+dispatch payloads ask workers to record spans too; each worker runs its
+payload under a fresh tracer and ships the finished spans (plus its
+metrics deltas) back alongside the result, and the parent merges them —
+so one batch run yields one coherent cross-process trace.  Queue wait
+(dispatch to worker pickup) feeds the ``pool.queue_wait_seconds``
+histogram and each worker-side ``job:run`` span.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs.metrics import METRICS
+from ..obs.tracer import (
+    Tracer,
+    add_worker_spans,
+    set_tracer,
+    span as obs_span,
+    tracing_enabled,
+)
 from .cache import ResultCache, default_cache
 from .jobs import CompileJob, JobResult, run_job
 
@@ -36,16 +54,62 @@ def worker_count(requested: Optional[int] = None) -> int:
 
 def execute_job_safe(job: CompileJob, profile: bool = False) -> JobResult:
     """Run one job, capturing any exception as an errored result."""
-    try:
-        return run_job(job, profile=profile)
-    except Exception as exc:  # noqa: BLE001 — one bad cell must not kill the batch
-        return JobResult(job=job, error=f"{type(exc).__name__}: {exc}")
+    with obs_span("job:run", "service", label=job.label()) as sp:
+        METRICS.counter(obs_metrics.JOBS_EXECUTED).inc()
+        try:
+            result = run_job(job, profile=profile)
+        except Exception as exc:  # noqa: BLE001 — one bad cell must not kill the batch
+            METRICS.counter(obs_metrics.JOBS_FAILED).inc()
+            sp.set(error=type(exc).__name__)
+            return JobResult(job=job, error=f"{type(exc).__name__}: {exc}")
+        sp.set(cnot=result.metrics.cnot_gates if result.metrics else None)
+        return result
 
 
 def _execute_payload(payload: dict) -> dict:
-    """Worker entry point — dict in, dict out, so pickling stays trivial."""
+    """Worker entry point — dict in, dict out, so pickling stays trivial.
+
+    The returned envelope carries the serialized result plus the
+    observability sidecar: the worker's spans for this payload (when the
+    parent asked for tracing) and its metrics deltas (always — counters
+    are drained per payload so the parent can merge without double
+    counting).
+    """
     job = CompileJob.from_dict(payload["job"])
-    return execute_job_safe(job, profile=payload.get("profile", False)).to_dict()
+    submitted = payload.get("submitted")
+    wait = max(0.0, time.time() - submitted) if submitted else 0.0
+    METRICS.histogram(obs_metrics.QUEUE_WAIT).observe(wait)
+    if payload.get("trace"):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            with tracer.span(
+                "worker:payload", "service",
+                {"queue_wait_s": round(wait, 6), "label": job.label()},
+            ):
+                result = execute_job_safe(job, profile=payload.get("profile", False))
+        finally:
+            set_tracer(previous)
+        spans = tracer.serialize()
+    else:
+        result = execute_job_safe(job, profile=payload.get("profile", False))
+        spans = []
+    return {
+        "result": result.to_dict(),
+        "spans": spans,
+        "metrics": METRICS.drain(),
+    }
+
+
+def _worker_init() -> None:
+    """Reset per-process observability state in a fresh pool worker.
+
+    Under the fork start method the child inherits the parent's metrics
+    counts and open tracer; both must be cleared or the first drained
+    envelope would re-ship (and double count) the parent's own numbers.
+    """
+    set_tracer(None)
+    METRICS.reset()
 
 
 def _mp_context():
@@ -62,7 +126,8 @@ def _fresh_results(
 
     Dispatch is grouped by workload so jobs sharing a (bench, encoder,
     scale) land on the same worker and hit its per-process block memo;
-    results are buffered back into submission order.
+    results are buffered back into submission order.  Worker spans and
+    metrics deltas are merged into this process as each envelope lands.
     """
     if workers <= 1 or len(pending) <= 1:
         for _index, job in pending:
@@ -76,18 +141,30 @@ def _fresh_results(
             pending[slot][1].scale,
         ),
     )
+    trace_workers = tracing_enabled()
+    submitted = time.time()
     payloads = [
-        {"job": pending[slot][1].to_dict(), "profile": profile} for slot in order
+        {
+            "job": pending[slot][1].to_dict(),
+            "profile": profile,
+            "trace": trace_workers,
+            "submitted": submitted,
+        }
+        for slot in order
     ]
     processes = min(workers, len(pending))
     chunksize = max(1, len(payloads) // (processes * 2))
     buffered = {}
     emit = 0
     ctx = _mp_context()
-    with ctx.Pool(processes=processes) as pool:
+    with ctx.Pool(processes=processes, initializer=_worker_init) as pool:
         results = pool.imap(_execute_payload, payloads, chunksize=chunksize)
-        for dispatch_slot, result_dict in enumerate(results):
-            buffered[order[dispatch_slot]] = JobResult.from_dict(result_dict)
+        for dispatch_slot, envelope in enumerate(results):
+            add_worker_spans(envelope.get("spans", ()))
+            METRICS.merge(envelope.get("metrics", {}))
+            buffered[order[dispatch_slot]] = JobResult.from_dict(
+                envelope["result"]
+            )
             while emit in buffered:
                 yield buffered.pop(emit)
                 emit += 1
@@ -125,33 +202,39 @@ def execute_jobs(
     elif not use_cache:
         cache = None
 
-    results: List[Optional[JobResult]] = [None] * len(job_list)
-    pending: List[Tuple[int, CompileJob]] = []
-    for index, job in enumerate(job_list):
-        hit = cache.get(job) if cache is not None else None
-        if hit is not None and profile and hit.profile is None:
-            hit = None  # unprofiled entry can't answer a profiled request
-        if hit is not None:
-            results[index] = hit
-        else:
-            pending.append((index, job))
+    with obs_span(
+        "batch:execute", "service", jobs=len(job_list)
+    ) as batch_span:
+        results: List[Optional[JobResult]] = [None] * len(job_list)
+        pending: List[Tuple[int, CompileJob]] = []
+        with obs_span("batch:cache-scan", "service") as scan_span:
+            for index, job in enumerate(job_list):
+                hit = cache.get(job) if cache is not None else None
+                if hit is not None and profile and hit.profile is None:
+                    hit = None  # unprofiled entry can't answer a profiled request
+                if hit is not None:
+                    results[index] = hit
+                else:
+                    pending.append((index, job))
+            scan_span.set(hits=len(job_list) - len(pending), misses=len(pending))
 
-    fresh = _fresh_results(pending, worker_count(max_workers), profile=profile)
-    completed = 0
-    for index in range(len(job_list)):
-        result = results[index]
-        if result is None:
-            result = next(fresh)
-            if cache is not None:
-                cache.put(result)
-        if strict and result.error is not None:
-            raise RuntimeError(
-                f"compile job {result.job.label()} failed: {result.error}"
-            )
-        completed += 1
-        if progress is not None:
-            progress(completed, len(job_list), result)
-        yield result
+        fresh = _fresh_results(pending, worker_count(max_workers), profile=profile)
+        completed = 0
+        for index in range(len(job_list)):
+            result = results[index]
+            if result is None:
+                result = next(fresh)
+                if cache is not None:
+                    cache.put(result)
+            if strict and result.error is not None:
+                raise RuntimeError(
+                    f"compile job {result.job.label()} failed: {result.error}"
+                )
+            completed += 1
+            if progress is not None:
+                progress(completed, len(job_list), result)
+            yield result
+        batch_span.set(fresh=len(pending))
 
 
 def run_batch(

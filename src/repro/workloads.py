@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Tuple
 
+from .obs.metrics import METRICS, WORKLOAD_BUILDS
+from .obs.tracer import span as obs_span
 from .registry import Registry, RegistryError, parse_spec
 
 #: Registry of workload providers; values are :class:`WorkloadProvider`.
@@ -263,7 +265,17 @@ def resolve_workload(spec: str) -> Tuple[str, str]:
 def workload_blocks(spec: str, encoder: str = "JW", scale: str = "small") -> list:
     """Build the Pauli blocks for any workload spec string."""
     provider_name, instance = resolve_workload(spec)
-    return WORKLOADS.get(provider_name).blocks(instance, encoder, scale)
+    with obs_span(
+        "workload:build",
+        "workload",
+        spec=f"{provider_name}:{instance}",
+        encoder=encoder,
+        scale=scale,
+    ) as sp:
+        blocks = WORKLOADS.get(provider_name).blocks(instance, encoder, scale)
+        sp.set(blocks=len(blocks))
+    METRICS.counter(WORKLOAD_BUILDS).inc()
+    return blocks
 
 
 def canonical_bench(spec: str) -> str:

@@ -174,6 +174,69 @@ class TestPool:
             run_batch([bad], use_cache=False, strict=True)
 
 
+class TestMultiWorker:
+    """execute_jobs with workers > 1: streaming order, cache mixing,
+    error isolation, and worker-side observability."""
+
+    def test_streams_in_submission_order(self):
+        from repro.service import execute_jobs
+
+        seen = []
+        for result in execute_jobs(SMOKE_JOBS, max_workers=2, use_cache=False):
+            seen.append(result.job)
+        assert seen == [job for job in SMOKE_JOBS]
+
+    def test_mixes_cache_hits_with_fresh_parallel_results(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        warm = SMOKE_JOBS[::2]
+        run_batch(warm, cache=cache)
+        results = run_batch(SMOKE_JOBS, max_workers=2, cache=cache)
+        assert [r.job for r in results] == SMOKE_JOBS
+        assert [r.cached for r in results] == [
+            job in warm for job in SMOKE_JOBS
+        ]
+        assert all(r.ok for r in results)
+        # The fresh half was written back: a rerun is all hits.
+        assert all(r.cached for r in run_batch(SMOKE_JOBS, cache=cache))
+
+    def test_worker_error_does_not_poison_the_pool(self):
+        jobs = [
+            CompileJob(bench="LiH", device="linear", scale="smoke", blocks=2),
+            CompileJob(bench="NoSuchMolecule", scale="smoke"),
+            CompileJob(bench="BeH2", device="linear", scale="smoke", blocks=2),
+            CompileJob(bench="LiH", device="full", scale="smoke", blocks=2),
+        ]
+        results = run_batch(jobs, max_workers=2, use_cache=False)
+        assert [r.job for r in results] == jobs
+        assert [r.ok for r in results] == [True, False, True, True]
+        assert "NoSuchMolecule" in results[1].error
+
+    def test_profiles_survive_the_process_boundary(self):
+        jobs = SMOKE_JOBS[:4]
+        results = run_batch(jobs, max_workers=2, use_cache=False, profile=True)
+        for result in results:
+            assert result.profile is not None
+            assert result.profile.passes
+
+    def test_workers_ship_spans_when_tracing(self):
+        from repro import obs
+
+        previous = obs.set_tracer(None)
+        try:
+            with obs.trace() as tracer:
+                results = run_batch(SMOKE_JOBS[:4], max_workers=2,
+                                    use_cache=False)
+            assert all(r.ok for r in results)
+            pids = {span.pid for span in tracer.spans}
+            assert len(pids) >= 2, "worker spans must merge into the parent"
+            worker_names = {
+                s.name for s in tracer.spans if s.pid != os.getpid()
+            }
+            assert {"worker:payload", "job:run"} <= worker_names
+        finally:
+            obs.set_tracer(previous)
+
+
 class TestCliBatch:
     MATRIX_ARGS = ["batch", "--bench", "LiH", "--device", "linear,full",
                    "--compiler", "tetris,paulihedral,max-cancel",

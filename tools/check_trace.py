@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace emitted by ``repro trace`` (CI gate).
+
+Checks, in order:
+
+1. the file is well-formed JSON with a non-empty ``traceEvents`` list;
+2. every complete (``"ph": "X"``) event carries name/cat/ts/dur/pid/tid
+   with sane numeric values;
+3. spans nest on every (pid, tid) track — a span either contains or is
+   disjoint from its neighbors, never partially overlaps — and every
+   recorded ``parent_id`` resolves to a containing span in the same
+   process;
+4. with ``--reconcile``: every pass span that carries a
+   ``profile_seconds`` attribute (attached when ``--profile-passes``
+   measured the same interval with the pass manager's own clock) has a
+   duration consistent with it;
+5. with ``--require SUBSTR`` (repeatable): at least one event name
+   contains each substring;
+6. with ``--min-pids N``: events come from at least N distinct
+   processes (main + workers for a traced batch run).
+
+Stdlib only; exits non-zero with a message on the first failure.
+
+Usage::
+
+    python tools/check_trace.py trace.json --reconcile \
+        --require pass: --require workload:build --min-pids 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: Slack (in microseconds) allowed when deciding whether spans nest —
+#: covers float rounding in the exporter, not real overlap.
+NEST_EPS_US = 5.0
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 — py3.8-friendly hint
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_events(path: str) -> List[dict]:
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        fail(f"{path}: not readable JSON: {exc}")
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        fail(f"{path}: missing traceEvents (not a Chrome trace document)")
+    events = document["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents empty")
+    return events
+
+
+def complete_events(events: List[dict]) -> List[dict]:
+    spans = []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            fail(f"event #{index} is not a phase-tagged object: {event!r}")
+        if event["ph"] != "X":
+            continue
+        for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                fail(f"X event #{index} ({event.get('name')!r}) missing {key!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            fail(f"X event {event['name']!r}: bad ts {event['ts']!r}")
+        if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+            fail(f"X event {event['name']!r}: bad dur {event['dur']!r}")
+        spans.append(event)
+    if not spans:
+        fail("no complete (ph=X) span events found")
+    return spans
+
+
+def check_nesting(spans: List[dict]) -> None:
+    tracks: Dict[Tuple[int, int], List[dict]] = {}
+    for span in spans:
+        tracks.setdefault((span["pid"], span["tid"]), []).append(span)
+    for (pid, tid), track in sorted(tracks.items()):
+        # Longest-first among equal starts so a parent precedes its
+        # children in stack order.
+        track.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[dict] = []
+        for span in track:
+            while stack and span["ts"] >= stack[-1]["ts"] + stack[-1]["dur"] - NEST_EPS_US:
+                stack.pop()
+            if stack:
+                parent_end = stack[-1]["ts"] + stack[-1]["dur"]
+                if span["ts"] + span["dur"] > parent_end + NEST_EPS_US:
+                    fail(
+                        f"pid {pid} tid {tid}: span {span['name']!r} "
+                        f"[{span['ts']}, {span['ts'] + span['dur']}] partially "
+                        f"overlaps {stack[-1]['name']!r} ending at {parent_end}"
+                    )
+            stack.append(span)
+
+
+def check_parent_links(spans: List[dict]) -> None:
+    by_id: Dict[Tuple[int, int], dict] = {}
+    for span in spans:
+        span_id = span.get("args", {}).get("span_id")
+        if span_id is not None:
+            by_id[(span["pid"], span_id)] = span
+    for span in spans:
+        parent_id = span.get("args", {}).get("parent_id")
+        if parent_id is None:
+            continue
+        parent = by_id.get((span["pid"], parent_id))
+        if parent is None:
+            fail(
+                f"span {span['name']!r} references parent {parent_id} "
+                f"not present in pid {span['pid']}"
+            )
+        if not (
+            parent["ts"] - NEST_EPS_US <= span["ts"]
+            and span["ts"] + span["dur"]
+            <= parent["ts"] + parent["dur"] + NEST_EPS_US
+        ):
+            fail(
+                f"span {span['name']!r} is not contained in its parent "
+                f"{parent['name']!r} (pid {span['pid']})"
+            )
+
+
+def check_reconcile(spans: List[dict]) -> int:
+    """Pass spans' durations must agree with the profiler's own clock."""
+    checked = 0
+    for span in spans:
+        profile_seconds = span.get("args", {}).get("profile_seconds")
+        if profile_seconds is None:
+            continue
+        dur_seconds = span["dur"] / 1e6
+        # Both clocks time the same pass invocation; the span adds only
+        # context-manager overhead.  Allow 10ms + 25% before failing.
+        tolerance = 0.010 + 0.25 * profile_seconds
+        if abs(dur_seconds - profile_seconds) > tolerance:
+            fail(
+                f"pass span {span['name']!r}: trace duration "
+                f"{dur_seconds:.6f}s vs profiled {profile_seconds:.6f}s "
+                f"(tolerance {tolerance:.6f}s)"
+            )
+        checked += 1
+    if not checked:
+        fail("--reconcile: no spans carried a profile_seconds attribute "
+             "(was the traced run started with --profile-passes?)")
+    return checked
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace.json path to validate")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="require at least one span name containing this "
+                             "substring (repeatable)")
+    parser.add_argument("--min-pids", type=int, default=1,
+                        help="require spans from at least N distinct processes")
+    parser.add_argument("--reconcile", action="store_true",
+                        help="check pass spans against their profile_seconds "
+                             "attributes")
+    args = parser.parse_args(argv)
+
+    events = load_events(args.trace)
+    spans = complete_events(events)
+    check_nesting(spans)
+    check_parent_links(spans)
+
+    names = {span["name"] for span in spans}
+    for needle in args.require:
+        if not any(needle in name for name in names):
+            fail(f"no span name contains {needle!r} "
+                 f"(saw: {', '.join(sorted(names))})")
+
+    pids = {span["pid"] for span in spans}
+    if len(pids) < args.min_pids:
+        fail(f"expected spans from >= {args.min_pids} processes, "
+             f"saw {len(pids)}: {sorted(pids)}")
+
+    reconciled = check_reconcile(spans) if args.reconcile else 0
+    message = (
+        f"check_trace: OK: {len(spans)} spans, {len(pids)} process(es), "
+        f"{len(names)} distinct names"
+    )
+    if args.reconcile:
+        message += f", {reconciled} pass spans reconciled"
+    print(message)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
