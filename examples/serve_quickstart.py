@@ -1,0 +1,92 @@
+"""The serve daemon (`repro.serve`): hot cache, dedup, quotas, /stats.
+
+``repro serve`` keeps a compile service resident — a warm worker pool
+behind an in-memory hot cache, the on-disk result cache, and in-flight
+request dedup — so repeated and concurrent requests stop paying cold
+costs.  This walkthrough runs the whole thing in-process:
+
+1. start a daemon on an ephemeral port (`BackgroundServer`);
+2. compile once cold, then watch the identical request come back
+   ``hot`` without touching the worker pool;
+3. fire concurrent identical requests and see them dedup to one
+   execution;
+4. stream a mixed batch in submission order;
+5. scrape ``/stats`` the way a monitor would, then drain cleanly.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/serve_quickstart.py
+
+Against a real daemon (``repro serve --port 8421 --workers 4``) the
+client half of this script is unchanged — just
+``ReproClient(port=8421)``.
+"""
+
+import threading
+
+from repro.serve import BackgroundServer
+from repro.service import CompileJob
+
+JOB = dict(bench="LiH", device="linear", scale="smoke", blocks=3)
+SLOW = dict(bench="BeH2", device="linear", scale="smoke")
+
+# --- 1. a daemon on a daemon thread, ephemeral port --------------------
+# workers=0 compiles inline (no fork) — same admission/cache/dedup paths
+# as `repro serve --workers 4`, handy for scripts and tests.
+
+with BackgroundServer(workers=0, use_disk_cache=False) as daemon:
+    client = daemon.client()
+    print(f"daemon up on port {daemon.port}: {client.healthz()}")
+
+    # --- 2. cold, then hot ---------------------------------------------
+
+    cold = client.compile(**JOB)
+    warm = client.compile(**JOB)
+    print(f"\nfirst request:  served={cold.served!r}  "
+          f"cnots={cold.result.metrics.cnot_gates}")
+    print(f"second request: served={warm.served!r}  "
+          f"cached={warm.result.cached}")
+    requests = client.stats()["server"]["requests"]
+    print(f"jobs_executed={requests['jobs_executed']} "
+          "<- the hot hit never touched the pool")
+
+    # --- 3. concurrent identical requests share one execution ----------
+
+    replies = []
+
+    def ask():
+        with daemon.client() as c:
+            replies.append(c.compile(**SLOW))
+
+    threads = [threading.Thread(target=ask) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    served = sorted(reply.served for reply in replies)
+    stats = client.stats()
+    print(f"\n4 concurrent identical requests served as: {served}")
+    print(f"dedup_hits={stats['server']['requests']['dedup_hits']}")
+
+    # --- 4. a streamed batch, replies in submission order ---------------
+
+    batch = [CompileJob(**JOB),
+             CompileJob(bench="LiH", device="linear", scale="smoke",
+                        blocks=4),
+             CompileJob(**SLOW)]
+    print("\nbatch:")
+    for reply in client.batch(batch):
+        metrics = reply.result.metrics
+        print(f"  {reply.result.job.label():40s} served={reply.served:5s} "
+              f"cnots={metrics.cnot_gates}")
+
+    # --- 5. what a monitor sees ------------------------------------------
+
+    stats = client.stats()
+    hot = stats["hot_cache"]
+    print(f"\nhot cache: {hot['entries']} entries, {hot['bytes']} bytes, "
+          f"hit rate {hot['hit_rate']:.0%}")
+    print(f"tenants: {stats['tenants']}")
+    client.close()
+# leaving the `with` drains in-flight work and stops the daemon
+print("\ndaemon drained and stopped")

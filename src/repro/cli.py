@@ -45,8 +45,16 @@ collected inside worker processes::
 Cache mode inspects and maintains the on-disk result cache::
 
     python -m repro.cli cache stats
+    python -m repro.cli cache stats --json
     python -m repro.cli cache trim --max 500
     python -m repro.cli cache clear
+
+Serve mode runs the persistent compile daemon (:mod:`repro.serve`):
+a warm worker pool, an in-memory hot cache over the disk cache,
+in-flight request dedup, and per-tenant quotas, over HTTP or stdio::
+
+    python -m repro.cli serve --port 8421 --workers 4
+    python -m repro.cli serve --stdio --workers 0
 
 Discover the vocabulary (families, aliases, and the parameter grammar)
 with ``--list-benchmarks``, ``--list-compilers``, and ``--list-devices``.
@@ -198,6 +206,12 @@ def main(argv=None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The daemon owns its whole lifecycle (signals, shutdown,
+        # tracing) — dispatch before the env_trace session below.
+        from .serve.cli import serve_main
+
+        return serve_main(argv[1:])
     # REPRO_TRACE traces any plain invocation without changing its args;
     # `repro trace` manages its own session, so this is a no-op there.
     with obs.env_trace() as trace_path:
@@ -471,7 +485,23 @@ def build_cache_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max", type=int, default=1000,
                         help="trim: keep at most this many entries "
                              "(oldest evicted first; default 1000)")
+    parser.add_argument("--json", action="store_true",
+                        help="stats: machine-readable output (same shape "
+                             "as the serve daemon's /stats disk_cache "
+                             "section)")
     return parser
+
+
+def cache_stats_payload(cache: ResultCache) -> dict:
+    """Machine-readable cache stats — the serve daemon's ``/stats``
+    reports its disk cache in this same shape (root/stats/disk), so
+    dashboards can parse both identically."""
+    return {
+        "root": cache.root,
+        "enabled": cache_enabled(),
+        "stats": cache.stats.as_dict(),
+        "disk": cache.disk_stats(),
+    }
 
 
 def cache_main(argv=None) -> int:
@@ -479,6 +509,10 @@ def cache_main(argv=None) -> int:
     args = parser.parse_args(argv)
     cache = ResultCache(args.cache_dir or None)
     if args.action == "stats":
+        if args.json:
+            print(json.dumps(cache_stats_payload(cache), indent=2,
+                             sort_keys=True))
+            return 0
         disk = cache.disk_stats()
         print(f"cache root: {cache.root}")
         print(f"caching: {'enabled' if cache_enabled() else 'disabled (REPRO_CACHE)'}")

@@ -167,3 +167,10 @@ JOBS_EXECUTED = "jobs.executed"
 JOBS_FAILED = "jobs.failed"
 QUEUE_WAIT = "pool.queue_wait_seconds"
 PASS_SECONDS = "pipeline.pass_seconds"
+SERVE_REQUESTS = "serve.requests"
+SERVE_REJECTED = "serve.rejected"
+SERVE_DEDUP_HITS = "serve.dedup_hits"
+SERVE_HOT_HITS = "serve.hot_hits"
+SERVE_HOT_MISSES = "serve.hot_misses"
+SERVE_HOT_EVICTIONS = "serve.hot_evictions"
+SERVE_QUEUE_WAIT = "serve.queue_wait_seconds"

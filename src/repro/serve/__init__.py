@@ -1,0 +1,72 @@
+"""Persistent compile-serving daemon (``repro serve``).
+
+The serving shape of the batch service: a long-running asyncio server
+that owns a warm :class:`~repro.service.pool.WorkerPool` for its whole
+lifetime and answers compile requests over HTTP/1.1 (stdlib only) or
+newline-delimited JSON on stdio.  Every request passes through four
+layers, cheapest first — an in-memory byte-bounded LRU **hot cache**,
+the on-disk content-addressed result cache, **in-flight dedup** (two
+clients asking for the same job hash share one execution), and finally
+a bounded priority queue feeding the pool — with per-tenant quotas and
+429 backpressure at admission, streamed NDJSON batch results, and
+``/healthz`` + ``/stats`` endpoints surfacing :mod:`repro.obs` metrics
+and cache hit rates.
+
+Start a daemon and talk to it::
+
+    repro serve --port 8421 --workers 4          # terminal 1
+
+    from repro.serve import ReproClient          # terminal 2
+    with ReproClient(port=8421) as client:
+        reply = client.compile(bench="chem:LiH", scale="smoke")
+        print(reply.served, reply.result.metrics.cnot_gates)
+
+Pieces: :mod:`~repro.serve.server` (the daemon + admission control),
+:mod:`~repro.serve.hotcache` (the LRU layer), :mod:`~repro.serve.
+protocol` (wire shapes + HTTP framing), :mod:`~repro.serve.client`
+(blocking client), :mod:`~repro.serve.cli` (the subcommand).
+
+Environment knobs: ``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT`` /
+``REPRO_SERVE_WORKERS`` / ``REPRO_SERVE_HOT_BYTES`` /
+``REPRO_SERVE_QUEUE_DEPTH`` / ``REPRO_SERVE_TENANT_QUOTA``.
+"""
+
+from .client import ReproClient, ServeError
+from .hotcache import DEFAULT_HOT_BYTES, HotCache
+from .protocol import (
+    SERVED_DEDUP,
+    SERVED_DISK,
+    SERVED_FRESH,
+    SERVED_HOT,
+    ProtocolError,
+    ServeReply,
+)
+from .server import (
+    BackgroundServer,
+    DEFAULT_PORT,
+    ReproServer,
+    ServeConfig,
+    ServeRejected,
+    TenantState,
+    run_stdio,
+)
+
+__all__ = [
+    "ReproServer",
+    "ServeConfig",
+    "ServeRejected",
+    "TenantState",
+    "BackgroundServer",
+    "run_stdio",
+    "ReproClient",
+    "ServeError",
+    "ServeReply",
+    "ProtocolError",
+    "HotCache",
+    "DEFAULT_HOT_BYTES",
+    "DEFAULT_PORT",
+    "SERVED_HOT",
+    "SERVED_DISK",
+    "SERVED_DEDUP",
+    "SERVED_FRESH",
+]

@@ -1,0 +1,129 @@
+"""The ``repro serve`` subcommand: run the compile daemon.
+
+HTTP mode (the default) binds a socket and serves until SIGINT/SIGTERM
+or a ``POST /shutdown``::
+
+    repro serve --port 8421 --workers 4
+    repro serve --port 0                  # ephemeral; the actual port is
+                                          # printed on the listening line
+
+stdio mode speaks newline-delimited JSON on stdin/stdout — no socket,
+one subprocess per client — for driving the daemon from scripts and
+editors::
+
+    repro serve --stdio --workers 0
+
+Every flag falls back to its ``REPRO_SERVE_*`` environment knob (see
+``ServeConfig``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+
+from .server import (
+    DEFAULT_PORT,
+    HOT_BYTES_ENV,
+    PORT_ENV,
+    QUEUE_DEPTH_ENV,
+    ReproServer,
+    ServeConfig,
+    TENANT_QUOTA_ENV,
+    WORKERS_ENV,
+    run_stdio,
+)
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Run the persistent compile daemon (HTTP or stdio).",
+    )
+    parser.add_argument("--host", default=None,
+                        help="bind address (default: $REPRO_SERVE_HOST "
+                             "or 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None,
+                        help=f"TCP port; 0 picks an ephemeral port "
+                             f"(default: ${PORT_ENV} or {DEFAULT_PORT})")
+    parser.add_argument("--workers", type=int, default=None,
+                        help=f"worker processes kept warm for the daemon's "
+                             f"lifetime; 0 = inline thread "
+                             f"(default: ${WORKERS_ENV} or 1)")
+    parser.add_argument("--hot-cache-bytes", type=int, default=None,
+                        help=f"in-memory hot cache budget in bytes "
+                             f"(default: ${HOT_BYTES_ENV} or 64 MiB)")
+    parser.add_argument("--queue-depth", type=int, default=None,
+                        help=f"max queued jobs before 429 backpressure "
+                             f"(default: ${QUEUE_DEPTH_ENV} or 256)")
+    parser.add_argument("--tenant-quota", type=int, default=None,
+                        help=f"max concurrent requests per tenant, 0 = "
+                             f"unlimited (default: ${TENANT_QUOTA_ENV} or 64)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache root (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="serve without the on-disk cache layer "
+                             "(the hot cache stays on)")
+    parser.add_argument("--stdio", action="store_true",
+                        help="newline-delimited JSON over stdin/stdout "
+                             "instead of HTTP")
+    return parser
+
+
+def config_from_args(args) -> ServeConfig:
+    config = ServeConfig.from_env(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        hot_bytes=args.hot_cache_bytes,
+        queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        cache_dir=args.cache_dir,
+    )
+    if args.no_cache:
+        config.use_disk_cache = False
+    return config
+
+
+async def _run_http(config: ServeConfig) -> int:
+    server = await ReproServer(config).start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(
+                signum,
+                lambda: asyncio.ensure_future(server.shutdown(drain=True)),
+            )
+    cache_tag = server.cache.root if server.cache is not None else "off"
+    print(
+        f"repro serve: listening on http://{config.host}:{server.port} "
+        f"(workers={config.workers}, hot-cache={config.hot_bytes} bytes, "
+        f"queue-depth={config.queue_depth}, disk-cache={cache_tag})",
+        flush=True,
+    )
+    await server.wait_closed()
+    print("repro serve: drained and stopped", flush=True)
+    return 0
+
+
+async def _run_stdio(config: ServeConfig) -> int:
+    server = await ReproServer(config).start(listen=False)
+    return await run_stdio(server)
+
+
+def serve_main(argv=None) -> int:
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        if args.stdio:
+            return asyncio.run(_run_stdio(config))
+        return asyncio.run(_run_http(config))
+    except KeyboardInterrupt:
+        return 130

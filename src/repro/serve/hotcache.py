@@ -1,0 +1,133 @@
+"""In-memory hot result cache for the serve daemon: LRU, byte-bounded.
+
+The daemon answers repeated requests without touching the worker pool
+*or* the disk: finished results are kept in memory as their serialized
+JSON text (the exact bytes a response embeds), keyed by job content
+hash, and evicted least-recently-used once the configured byte budget
+is exceeded.  Storing text instead of live :class:`JobResult` objects
+makes the memory bound exact (``len(text)``), keeps entries immutable
+under concurrent readers, and means a hot hit costs one dict lookup
+plus one ``json.loads`` — no compilation, no file I/O.
+
+The hot cache layers *over* the on-disk
+:class:`~repro.service.cache.ResultCache`: a hot miss falls through to
+the disk store, and a disk hit is promoted back into memory.  Eviction
+feeds the ``serve.hot_evictions`` counter so ``/stats`` can report
+cache pressure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..obs import metrics as obs_metrics
+from ..obs.metrics import METRICS
+
+#: Default byte budget (64 MiB) — thousands of typical results.
+DEFAULT_HOT_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class HotEntry:
+    """One cached result: serialized JSON + what a lookup must know."""
+
+    text: str
+    has_profile: bool
+
+    @property
+    def size(self) -> int:
+        return len(self.text)
+
+
+class HotCache:
+    """Byte-bounded LRU of serialized results keyed by job hash.
+
+    Single-threaded by design: the daemon only touches it from the
+    event loop, so there is no lock.  ``max_bytes <= 0`` disables
+    storage entirely (every ``get`` is a miss, every ``put`` a no-op) —
+    useful for measuring the disk path.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_HOT_BYTES):
+        self.max_bytes = max_bytes
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, HotEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str, require_profile: bool = False) -> Optional[str]:
+        """The serialized result for ``key``, or None.
+
+        A profiled request can't be served by an unprofiled entry (same
+        rule as the disk cache) — that lookup counts as a miss and the
+        caller recompiles/upgrades.
+        """
+        entry = self._entries.get(key)
+        if entry is None or (require_profile and not entry.has_profile):
+            self.misses += 1
+            METRICS.counter(obs_metrics.SERVE_HOT_MISSES).inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        METRICS.counter(obs_metrics.SERVE_HOT_HITS).inc()
+        return entry.text
+
+    def put(self, key: str, text: str, has_profile: bool = False) -> bool:
+        """Insert/refresh ``key``; evicts LRU entries over budget.
+
+        Returns False when the entry alone exceeds the whole budget (it
+        is not stored — evicting everything else for one giant result
+        would thrash the cache).
+        """
+        entry = HotEntry(text=text, has_profile=has_profile)
+        if entry.size > self.max_bytes:
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes -= old.size
+        self._entries[key] = entry
+        self.bytes += entry.size
+        self.puts += 1
+        self._evict_over_budget()
+        return True
+
+    def _evict_over_budget(self) -> None:
+        while self.bytes > self.max_bytes and self._entries:
+            _key, evicted = self._entries.popitem(last=False)
+            self.bytes -= evicted.size
+            self.evictions += 1
+            METRICS.counter(obs_metrics.SERVE_HOT_EVICTIONS).inc()
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Machine-readable shape for ``/stats`` and the smoke test."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+    def clear(self) -> int:
+        removed = len(self._entries)
+        self._entries.clear()
+        self.bytes = 0
+        return removed

@@ -1,0 +1,230 @@
+"""Wire protocol for the serve daemon: request shapes + HTTP/1.1 framing.
+
+Two transports speak the same JSON request vocabulary:
+
+**HTTP** (``asyncio.start_server`` + the minimal HTTP/1.1 subset here —
+request line, headers, Content-Length bodies, keep-alive, chunked
+streaming responses).  Endpoints::
+
+    GET  /healthz              -> {"ok": true, ...}
+    GET  /stats                -> server/cache/tenant/metrics snapshot
+    POST /compile   {"job": {...}, "tenant": ..., "priority": ...,
+                     "profile": ...}
+                               -> {"served": ..., "result": {...}}
+    POST /batch     {"jobs": [{...}, ...], ...}
+                               -> chunked NDJSON, one result line per job
+                                  in submission order
+    POST /shutdown  {"drain": true}
+                               -> {"ok": true}; server drains and exits
+
+**stdio** (``repro serve --stdio``): newline-delimited JSON, one
+request object per line carrying ``{"op": "compile" | "batch" |
+"stats" | "healthz" | "shutdown", "id": ..., ...}`` with the same
+fields as the HTTP bodies; responses echo the ``id``.  Batch results
+stream as one line per job followed by a ``{"id": ..., "done": true}``
+terminator.
+
+``served`` in a compile/batch response names the channel that produced
+the result: ``hot`` (in-memory cache), ``disk`` (on-disk cache,
+promoted to hot), ``dedup`` (attached to an identical in-flight
+request), or ``fresh`` (executed on the worker pool).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..service.jobs import CompileJob, JobResult
+
+#: Channels a result can be served from.
+SERVED_HOT = "hot"
+SERVED_DISK = "disk"
+SERVED_DEDUP = "dedup"
+SERVED_FRESH = "fresh"
+
+#: Framing limits — one oversized/malicious request must not balloon
+#: the resident daemon.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed request framing or body (maps to a 400)."""
+
+
+@dataclass
+class ServeReply:
+    """One served compile result plus how it was served."""
+
+    result: JobResult
+    served: str
+    queue_wait_s: float = 0.0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "served": self.served,
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ServeReply":
+        result = JobResult.from_dict(payload["result"])
+        served = payload.get("served", SERVED_FRESH)
+        # Anything short of a fresh (or shared-fresh) execution was a
+        # cache hit from the caller's point of view.
+        result.cached = served in (SERVED_HOT, SERVED_DISK)
+        return cls(
+            result=result,
+            served=served,
+            queue_wait_s=payload.get("queue_wait_s", 0.0),
+        )
+
+
+def parse_compile_request(
+    payload: Mapping[str, Any], default_tenant: str = "default"
+) -> Tuple[CompileJob, str, int, bool]:
+    """Decode one compile request body -> (job, tenant, priority, profile).
+
+    Raises :class:`ProtocolError` on missing/invalid fields so transports
+    can map it to a 400 uniformly.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("request body must be a JSON object")
+    spec = payload.get("job")
+    if not isinstance(spec, Mapping):
+        raise ProtocolError('request must carry a "job" object')
+    try:
+        job = CompileJob.from_dict(spec)
+    except (ValueError, TypeError) as exc:
+        raise ProtocolError(f"bad job spec: {exc}") from None
+    tenant = str(payload.get("tenant") or default_tenant)
+    try:
+        priority = int(payload.get("priority", 0))
+    except (ValueError, TypeError):
+        raise ProtocolError("priority must be an integer") from None
+    profile = bool(payload.get("profile", False))
+    return job, tenant, priority, profile
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> Any:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HttpRequest]:
+    """Read one request off the stream; None on clean connection close."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # peer closed between requests
+        raise ProtocolError("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise ProtocolError("malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return HttpRequest(method=method.upper(), path=path,
+                       headers=headers, body=body)
+
+
+def http_response(
+    status: int,
+    payload: Any = None,
+    body: Optional[bytes] = None,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    chunked: bool = False,
+) -> bytes:
+    """Serialize a response head (+ body unless ``chunked``).
+
+    With ``chunked=True`` only the head is returned; the caller streams
+    :func:`chunk` frames and finishes with :func:`last_chunk`.
+    """
+    if body is None and payload is not None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if chunked:
+        head.append("Transfer-Encoding: chunked")
+    else:
+        head.append(f"Content-Length: {len(body or b'')}")
+    blob = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+    if not chunked and body:
+        blob += body
+    return blob
+
+
+def error_response(status: int, message: str, keep_alive: bool = True) -> bytes:
+    return http_response(
+        status, {"error": message, "status": status}, keep_alive=keep_alive
+    )
+
+
+def chunk(data: bytes) -> bytes:
+    """One HTTP/1.1 chunked-transfer frame."""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+def last_chunk() -> bytes:
+    return b"0\r\n\r\n"
+
+
+def ndjson_line(payload: Any) -> bytes:
+    return (json.dumps(payload) + "\n").encode("utf-8")

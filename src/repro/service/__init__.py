@@ -43,7 +43,15 @@ from .jobs import (
     resolve_device,
     run_job,
 )
-from .pool import execute_jobs, run_batch, worker_count
+from .pool import (
+    WorkerPool,
+    execute_job_safe,
+    execute_jobs,
+    make_payload,
+    merge_envelope,
+    run_batch,
+    worker_count,
+)
 from .sink import CsvSink, JsonlSink, write_results
 
 __all__ = [
@@ -66,8 +74,12 @@ __all__ = [
     "default_cache",
     "default_cache_dir",
     "execute_jobs",
+    "execute_job_safe",
+    "make_payload",
+    "merge_envelope",
     "run_batch",
     "worker_count",
+    "WorkerPool",
     "JsonlSink",
     "CsvSink",
     "write_results",

@@ -157,9 +157,11 @@ class ResultCache:
             return found
         for shard in sorted(os.listdir(self.root)):
             shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
-                continue
-            for name in sorted(os.listdir(shard_dir)):
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except (FileNotFoundError, NotADirectoryError):
+                continue  # shard removed (or bogus file) mid-scan
+            for name in names:
                 if name.endswith(".json") and not name.startswith(".tmp-"):
                     found.append(os.path.join(shard_dir, name))
         return found
@@ -167,30 +169,51 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries())
 
+    @staticmethod
+    def _remove_entry(path: str) -> bool:
+        """Unlink one entry; False when it vanished (another process —
+        a concurrent trim/clear, or the daemon's janitor — got there
+        first, which is a success, not an error) or can't be removed."""
+        try:
+            os.remove(path)
+            return True
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+
+    @staticmethod
+    def _entry_mtime(path: str) -> float:
+        """Sort key tolerating entries deleted between listing and stat
+        (vanished entries sort oldest, so trim tolerates the unlink)."""
+        try:
+            return os.path.getmtime(path)
+        except OSError:
+            return 0.0
+
     def clear(self) -> int:
-        """Remove every cached entry; returns the number removed."""
-        removed = 0
-        for path in self._entries():
-            try:
-                os.remove(path)
-                removed += 1
-            except OSError:
-                pass
-        return removed
+        """Remove every cached entry; returns the number removed.
+
+        Safe against concurrent mutation: entries removed by another
+        process between listing and unlink are skipped, not errors.
+        """
+        return sum(1 for path in self._entries() if self._remove_entry(path))
 
     def trim(self, max_entries: int) -> int:
-        """Evict oldest entries (by mtime) down to ``max_entries``."""
+        """Evict oldest entries (by mtime) down to ``max_entries``.
+
+        Concurrent-access tolerant the same way :meth:`clear` is; the
+        eviction counter only counts entries this call actually removed.
+        """
         entries = self._entries()
         if len(entries) <= max_entries:
             return 0
-        entries.sort(key=lambda path: os.path.getmtime(path))
-        removed = 0
-        for path in entries[: len(entries) - max_entries]:
-            try:
-                os.remove(path)
-                removed += 1
-            except OSError:
-                pass
+        entries.sort(key=self._entry_mtime)
+        removed = sum(
+            1
+            for path in entries[: len(entries) - max_entries]
+            if self._remove_entry(path)
+        )
         METRICS.counter(obs_metrics.CACHE_EVICTIONS).inc(removed)
         return removed
 

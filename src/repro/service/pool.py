@@ -119,6 +119,91 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
+def make_payload(
+    job: CompileJob,
+    profile: bool = False,
+    trace: Optional[bool] = None,
+    submitted: Optional[float] = None,
+) -> dict:
+    """The dispatch envelope a worker executes (see :func:`_execute_payload`).
+
+    ``trace`` defaults to whether a tracing session is active in *this*
+    process; ``submitted`` (epoch seconds) feeds the queue-wait metric.
+    """
+    return {
+        "job": job.to_dict(),
+        "profile": profile,
+        "trace": tracing_enabled() if trace is None else trace,
+        "submitted": time.time() if submitted is None else submitted,
+    }
+
+
+def merge_envelope(envelope: dict) -> JobResult:
+    """Absorb one worker envelope: spans + metrics merge, result decodes."""
+    add_worker_spans(envelope.get("spans", ()))
+    METRICS.merge(envelope.get("metrics", {}))
+    return JobResult.from_dict(envelope["result"])
+
+
+class WorkerPool:
+    """A worker pool whose lifetime the caller owns.
+
+    The batch path opens one per call (the historical behavior); the
+    ``repro serve`` daemon opens one at startup and keeps it warm across
+    requests, so clients stop paying cold import + workload-build costs.
+    Workers are fork-initialized to reset inherited observability state
+    (:func:`_worker_init`), and every envelope they return must pass
+    through :func:`merge_envelope` so spans/metrics land in the parent.
+    """
+
+    def __init__(self, processes: int = 1):
+        self.processes = max(1, processes)
+        self._pool = None
+
+    @property
+    def running(self) -> bool:
+        return self._pool is not None
+
+    def start(self) -> "WorkerPool":
+        if self._pool is None:
+            self._pool = _mp_context().Pool(
+                processes=self.processes, initializer=_worker_init
+            )
+        return self
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=exc_info[0] is None)
+
+    def imap_payloads(self, payloads: List[dict], chunksize: int = 1):
+        """Ordered lazy iterator of raw envelopes for ``payloads``."""
+        return self._pool.imap(_execute_payload, payloads, chunksize=chunksize)
+
+    def submit(self, payload: dict, callback=None, error_callback=None):
+        """Async dispatch of one payload; callbacks fire on a pool
+        helper thread with the raw envelope / the raised exception."""
+        return self._pool.apply_async(
+            _execute_payload,
+            (payload,),
+            callback=callback,
+            error_callback=error_callback,
+        )
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the pool down: ``drain=True`` finishes dispatched work
+        first, ``drain=False`` terminates workers immediately."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if drain:
+            pool.close()
+        else:
+            pool.terminate()
+        pool.join()
+
+
 def _fresh_results(
     pending: List[Tuple[int, CompileJob]], workers: int, profile: bool = False
 ) -> Iterator[JobResult]:
@@ -144,27 +229,23 @@ def _fresh_results(
     trace_workers = tracing_enabled()
     submitted = time.time()
     payloads = [
-        {
-            "job": pending[slot][1].to_dict(),
-            "profile": profile,
-            "trace": trace_workers,
-            "submitted": submitted,
-        }
+        make_payload(
+            pending[slot][1],
+            profile=profile,
+            trace=trace_workers,
+            submitted=submitted,
+        )
         for slot in order
     ]
     processes = min(workers, len(pending))
     chunksize = max(1, len(payloads) // (processes * 2))
     buffered = {}
     emit = 0
-    ctx = _mp_context()
-    with ctx.Pool(processes=processes, initializer=_worker_init) as pool:
-        results = pool.imap(_execute_payload, payloads, chunksize=chunksize)
-        for dispatch_slot, envelope in enumerate(results):
-            add_worker_spans(envelope.get("spans", ()))
-            METRICS.merge(envelope.get("metrics", {}))
-            buffered[order[dispatch_slot]] = JobResult.from_dict(
-                envelope["result"]
-            )
+    with WorkerPool(processes) as pool:
+        for dispatch_slot, envelope in enumerate(
+            pool.imap_payloads(payloads, chunksize=chunksize)
+        ):
+            buffered[order[dispatch_slot]] = merge_envelope(envelope)
             while emit in buffered:
                 yield buffered.pop(emit)
                 emit += 1

@@ -123,6 +123,49 @@ class TestResultCache:
         assert cache.clear() == 2
         assert len(cache) == 0
 
+    def test_clear_and_trim_tolerate_concurrent_deletion(
+        self, tmp_path, monkeypatch
+    ):
+        # Entries removed by another process between listing and unlink
+        # (a concurrent trim/clear) are skipped, not errors — and don't
+        # inflate the removal counts.
+        cache = ResultCache(str(tmp_path))
+        for blocks in (2, 3, 4):
+            cache.put(run_job(CompileJob(bench="LiH", device="linear",
+                                         scale="smoke", blocks=blocks)))
+        real = cache._entries()
+        ghosts = [os.path.join(str(tmp_path), "00", f"gone-{i}.json")
+                  for i in range(2)]
+        monkeypatch.setattr(cache, "_entries", lambda: ghosts + list(real))
+        # Vanished entries stat to mtime 0.0, so they sort oldest and
+        # trim targets them first: nothing real is removed.
+        assert cache.trim(max_entries=3) == 0
+        assert all(os.path.exists(path) for path in real)
+        assert cache.clear() == 3  # the ghosts don't count
+
+    def test_trim_survives_shard_dir_vanishing_mid_scan(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(run_job(CompileJob(bench="LiH", device="linear",
+                                     scale="smoke", blocks=3)))
+        (tmp_path / "zz").mkdir()            # empty shard, removable
+        (tmp_path / "stray-file").touch()    # non-directory in the root
+        assert len(cache) == 1               # neither confuses the scan
+
+    def test_cache_stats_json_cli(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        cache = ResultCache(str(tmp_path))
+        cache.put(run_job(CompileJob(bench="LiH", device="linear",
+                                     scale="smoke", blocks=3)))
+        assert cli.main(["cache", "stats", "--json",
+                         "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"] == str(tmp_path)
+        assert payload["enabled"] is True
+        assert payload["disk"]["entries"] == 1
+        assert payload["disk"]["bytes"] > 0
+        # Same shape as the serve daemon's /stats disk_cache section.
+        assert set(payload["stats"]) == {"hits", "misses", "puts"}
+
 
 class TestPool:
     def test_worker_count_env(self, monkeypatch):
@@ -132,6 +175,21 @@ class TestPool:
         assert worker_count() == 3
         assert worker_count(2) == 2
         assert worker_count(0) == 1
+
+    def test_worker_pool_stays_warm_across_submissions(self):
+        # The serve daemon's contract: one pool, many rounds of work.
+        from repro.service import WorkerPool, make_payload, merge_envelope
+
+        jobs = SMOKE_JOBS[:2]
+        with WorkerPool(processes=1) as pool:
+            assert pool.running
+            for _round in range(2):
+                payloads = [make_payload(job) for job in jobs]
+                results = [merge_envelope(envelope)
+                           for envelope in pool.imap_payloads(payloads)]
+                assert [r.job for r in results] == jobs
+                assert all(r.ok for r in results)
+        assert not pool.running
 
     def test_parallel_matches_serial(self):
         serial = run_batch(SMOKE_JOBS, max_workers=1, use_cache=False)

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""CI smoke test for the serve daemon (``repro serve``).
+
+Launches a real daemon subprocess on an ephemeral port, then drives it
+over HTTP and asserts the serving milestone's acceptance pair:
+
+1. a repeated identical request is a **hot-cache hit** — the reply says
+   ``served: hot`` and the daemon's ``jobs_executed`` count does not
+   move;
+2. N concurrent identical cold requests **execute exactly once** — the
+   dedup counter reads N-1;
+
+plus `/healthz`, a `/stats` scrape (hot-cache hit rate present), a
+streamed batch, and a clean drain via ``POST /shutdown``.
+
+Usage (CI)::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.serve import ReproClient, SERVED_DEDUP, SERVED_FRESH, SERVED_HOT
+from repro.service import CompileJob
+
+FAST = dict(bench="LiH", device="linear", scale="smoke", blocks=3)
+SLOW = dict(bench="BeH2", device="linear", scale="smoke")
+
+LISTENING = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def check(label, ok, detail=""):
+    print(f"{'ok  ' if ok else 'FAIL'} {label}" + (f" ({detail})" if detail else ""))
+    if not ok:
+        raise SystemExit(f"serve smoke failed: {label} {detail}")
+
+
+def wait_until(predicate, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise SystemExit("serve smoke failed: timed out waiting for condition")
+
+
+def main():
+    cache_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "1", "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        print(line.rstrip())
+        match = LISTENING.search(line)
+        check("daemon announces its port", match is not None, line.rstrip())
+        host, port = match.group(1), int(match.group(2))
+        client = ReproClient(host=host, port=port)
+
+        check("healthz", client.healthz().get("ok") is True)
+
+        # 1. fresh -> hot without touching the pool
+        cold = client.compile(**FAST)
+        check("cold request is fresh", cold.served == SERVED_FRESH,
+              cold.served)
+        check("cold result ok", cold.result.error is None)
+        warm = client.compile(**FAST)
+        check("repeat request is a hot-cache hit", warm.served == SERVED_HOT,
+              warm.served)
+        check("hot result identical",
+              warm.result.to_json() == cold.result.to_json())
+        stats = client.stats()
+        executed = stats["server"]["requests"]["jobs_executed"]
+        check("hot hit skipped the worker pool", executed == 1,
+              f"jobs_executed={executed}")
+        check("hot hit counted", stats["hot_cache"]["hits"] == 1,
+              json.dumps(stats["hot_cache"]))
+
+        # 2. concurrent identical cold requests dedup to one execution
+        replies = []
+
+        def request():
+            with ReproClient(host=host, port=port) as c:
+                replies.append(c.compile(**SLOW))
+
+        leader = threading.Thread(target=request)
+        leader.start()
+        wait_until(
+            lambda: client.stats()["server"]["queue"]["running"] >= 1
+        )
+        followers = [threading.Thread(target=request) for _ in range(3)]
+        for thread in followers:
+            thread.start()
+        for thread in [leader, *followers]:
+            thread.join(timeout=120)
+        served = sorted(reply.served for reply in replies)
+        check("concurrent identical requests dedup",
+              served == [SERVED_DEDUP] * 3 + [SERVED_FRESH], str(served))
+        stats = client.stats()
+        dedup = stats["server"]["requests"]["dedup_hits"]
+        executed = stats["server"]["requests"]["jobs_executed"]
+        check("dedup counter is N-1", dedup == 3, f"dedup_hits={dedup}")
+        check("the compile ran exactly once more", executed == 2,
+              f"jobs_executed={executed}")
+
+        # batch streaming + /stats scrape
+        batch = list(client.batch([CompileJob(**FAST),
+                                   CompileJob(**SLOW)]))
+        check("batch streams every job", len(batch) == 2)
+        check("batch served from the hot cache",
+              [reply.served for reply in batch] == [SERVED_HOT, SERVED_HOT])
+        check("stats exposes a hot hit rate",
+              stats["hot_cache"]["hit_rate"] > 0,
+              json.dumps(stats["hot_cache"]))
+        check("stats exposes the disk cache",
+              stats["disk_cache"]["disk"]["entries"] >= 2,
+              json.dumps(stats["disk_cache"]))
+
+        # clean shutdown
+        client.shutdown()
+        code = proc.wait(timeout=120)
+        tail = proc.stdout.read()
+        print(tail.rstrip())
+        check("daemon drained and exited 0", code == 0, f"exit={code}")
+        check("daemon logged the drain", "drained and stopped" in tail)
+        print("serve smoke: all checks passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
