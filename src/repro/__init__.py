@@ -48,6 +48,7 @@ def compile(  # noqa: A001 — the facade intentionally owns this name
     params=None,
     use_cache=True,
     profile_passes=False,
+    parametric=False,
 ):
     """Compile one (workload, compiler, device) cell and return its result.
 
@@ -62,6 +63,15 @@ def compile(  # noqa: A001 — the facade intentionally owns this name
                                profile_passes=True)
         print(result.metrics.cnot_gates)
         print(result.profile.rows())   # per-pass time + metric deltas
+
+    With ``parametric=True`` the structure is compiled once against
+    symbolic ``theta[i]`` angles and the result carries a reusable
+    :class:`~repro.circuit.template.CompiledTemplate`::
+
+        result = repro.compile(bench="chem:LiH", scale="smoke",
+                               parametric=True)
+        for theta in optimizer:                 # 1 compile, N cheap binds
+            circuit = result.template.bind(theta)
 
     Runs cache-first through :mod:`repro.service` and returns a
     populated :class:`~repro.service.jobs.JobResult`.  Raises
@@ -80,6 +90,7 @@ def compile(  # noqa: A001 — the facade intentionally owns this name
         blocks=blocks,
         optimization_level=optimization_level,
         params=dict(params or {}),
+        parametric=parametric,
     )
     return run_batch(
         [job], use_cache=use_cache, strict=True, profile=profile_passes

@@ -1,15 +1,29 @@
-"""Quantum circuit IR: gates, circuits, and circuit metrics."""
+"""Quantum circuit IR: gates, circuits, parameters, and circuit metrics."""
 
 from .circuit import QuantumCircuit
 from .duration import circuit_duration, schedule_asap
 from .gate import DEFAULT_DURATIONS, Gate
 from .metrics import CircuitMetrics, depth, measure_circuit, two_qubit_depth
+from .parameter import (
+    BindError,
+    Parameter,
+    ParameterExpression,
+    is_symbolic,
+    parameter_vector,
+)
 from .qasm import to_qasm
 from .qasm_import import QasmParseError, from_qasm
+from .template import CompiledTemplate
 
 __all__ = [
     "QuantumCircuit",
     "Gate",
+    "Parameter",
+    "ParameterExpression",
+    "BindError",
+    "CompiledTemplate",
+    "is_symbolic",
+    "parameter_vector",
     "DEFAULT_DURATIONS",
     "CircuitMetrics",
     "depth",

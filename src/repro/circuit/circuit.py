@@ -9,10 +9,11 @@ per-wire adjacency structure is built on demand by the passes that need it.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from . import gate as g
 from .gate import Gate
+from .parameter import BindError, Parameter, ParameterExpression
 
 
 class QuantumCircuit:
@@ -142,6 +143,61 @@ class QuantumCircuit:
         for gate in self.gates:
             qubits.update(gate.qubits)
         return tuple(sorted(qubits))
+
+    # -- symbolic parameters ---------------------------------------------------
+
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """Free parameters of the circuit, in first-appearance order."""
+        seen: Dict[str, Parameter] = {}
+        for gate in self.gates:
+            for value in gate.params:
+                if isinstance(value, ParameterExpression):
+                    for parameter in value.parameters:
+                        seen.setdefault(parameter.name, parameter)
+        return tuple(seen.values())
+
+    def bind(
+        self, values: Mapping[Any, float], strict: bool = True
+    ) -> "QuantumCircuit":
+        """Substitute parameter values; returns a new circuit.
+
+        ``values`` maps :class:`Parameter` objects or names to angles.
+        A partial mapping leaves the uncovered parameters symbolic;
+        keys naming no parameter of the circuit raise
+        :class:`BindError` unless ``strict=False``.  For the vectorized
+        bind-by-position fast path see
+        :class:`repro.circuit.template.CompiledTemplate`.
+        """
+        by_name = {
+            (key.name if isinstance(key, Parameter) else str(key)): value
+            for key, value in values.items()
+        }
+        if strict:
+            known = {parameter.name for parameter in self.parameters()}
+            unknown = sorted(set(by_name) - known)
+            if unknown:
+                raise BindError(
+                    f"unknown parameter(s): {unknown} (circuit has "
+                    f"{sorted(known)})"
+                )
+        out = QuantumCircuit(self.num_qubits, self.name)
+        for gate in self.gates:
+            if any(isinstance(value, ParameterExpression) for value in gate.params):
+                out.gates.append(
+                    Gate(
+                        gate.name,
+                        gate.qubits,
+                        tuple(
+                            value.bind(by_name)
+                            if isinstance(value, ParameterExpression)
+                            else value
+                            for value in gate.params
+                        ),
+                    )
+                )
+            else:
+                out.gates.append(gate)
+        return out
 
     # -- transformations -------------------------------------------------------
 

@@ -94,8 +94,18 @@ class Gate:
     def is_unitary(self) -> bool:
         return self.name not in NON_UNITARY
 
+    def is_parameterized(self) -> bool:
+        """True when any parameter is still a symbolic expression."""
+        from .parameter import ParameterExpression
+
+        return any(isinstance(p, ParameterExpression) for p in self.params)
+
     def inverse(self) -> "Gate":
-        """Return the inverse gate (raises for non-unitary operations)."""
+        """Return the inverse gate (raises for non-unitary operations).
+
+        Symbolic-safe: rotation and U3 parameters negate through
+        :class:`~repro.circuit.parameter.ParameterExpression` arithmetic,
+        so a parameterized gate inverts without numeric evaluation."""
         if self.name in SELF_INVERSE:
             return Gate(self.name, self.qubits, self.params)
         if self.name == S:

@@ -1,0 +1,276 @@
+"""Compiled circuit templates: structure compiled once, angles bound late.
+
+A :class:`CompiledTemplate` wraps a compiled circuit that still carries
+symbolic angles (:mod:`repro.circuit.parameter`) together with an
+*ordered* parameter list, and pre-indexes every symbolic slot so that
+:meth:`CompiledTemplate.bind` is a vectorized fast path:
+
+1. at construction, each symbolic gate parameter becomes a row of a
+   dense coefficient matrix ``A`` (slots x parameters) plus a constant
+   vector ``c`` — legal because every angle a pipeline emits is a
+   *linear* function of the workload angles;
+2. ``bind(theta)`` computes all slot values in one ``A @ theta + c``
+   matvec and rebuilds only the slotted :class:`~repro.circuit.gate.
+   Gate` objects — untouched gates are shared with the template, never
+   copied.
+
+``structure_hash()`` fingerprints everything *except* angle values —
+gate names, wires, constant parameters, and the symbolic slot wiring —
+so it is stable across rebinding and across the workload's baked angles
+(the template cache key, see :mod:`repro.service.templates`).
+
+Templates serialize to plain JSON (:meth:`to_dict`/:meth:`from_dict`)
+so they ride inside :class:`~repro.service.jobs.JobResult` through the
+worker pool, the on-disk result cache, and the serve daemon unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gate import Gate
+from .parameter import (
+    BindError,
+    Parameter,
+    ParameterExpression,
+    decode_param,
+    encode_param,
+    is_symbolic,
+)
+
+TEMPLATE_VERSION = 1
+
+
+class CompiledTemplate:
+    """A compiled structure plus ordered parameter slots and fast ``bind``.
+
+    Parameters
+    ----------
+    circuit:
+        The compiled circuit, with symbolic angles still in place.
+    parameters:
+        The template's parameter order (what a ``theta`` vector means).
+        Defaults to first-appearance order in the circuit.
+    default_angles:
+        Optional baked angles (the workload's own values);
+        ``bind()`` with no argument uses them.
+    """
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        parameters: Optional[Sequence[Parameter]] = None,
+        default_angles: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.num_qubits = circuit.num_qubits
+        self.name = circuit.name
+        self._gates: Tuple[Gate, ...] = tuple(circuit.gates)
+        if parameters is None:
+            parameters = _first_appearance_order(self._gates)
+        self.parameters: Tuple[Parameter, ...] = tuple(parameters)
+        if len({p.name for p in self.parameters}) != len(self.parameters):
+            raise ValueError("template parameters must have distinct names")
+        if default_angles is not None:
+            default_angles = np.asarray(default_angles, dtype=float)
+            if default_angles.shape != (len(self.parameters),):
+                raise ValueError(
+                    f"default_angles must have length {len(self.parameters)}, "
+                    f"got {default_angles.shape}"
+                )
+        self.default_angles: Optional[np.ndarray] = default_angles
+        self._index_slots()
+
+    # -- slot pre-indexing -----------------------------------------------------
+
+    def _index_slots(self) -> None:
+        column = {p.name: i for i, p in enumerate(self.parameters)}
+        rows: List[Dict[int, float]] = []
+        const: List[float] = []
+        gate_slots: List[Tuple[int, Tuple[Tuple[int, int], ...]]] = []
+        for gate_index, gate in enumerate(self._gates):
+            pairs: List[Tuple[int, int]] = []
+            for param_index, value in enumerate(gate.params):
+                if not is_symbolic(value):
+                    continue
+                row: Dict[int, float] = {}
+                for parameter, coeff in value.terms:
+                    slot_column = column.get(parameter.name)
+                    if slot_column is None:
+                        raise ValueError(
+                            f"gate {gate_index} mentions parameter "
+                            f"{parameter.name!r} which is not in the "
+                            f"template's parameter list"
+                        )
+                    row[slot_column] = coeff
+                pairs.append((param_index, len(rows)))
+                rows.append(row)
+                const.append(value.const)
+            if pairs:
+                gate_slots.append((gate_index, tuple(pairs)))
+        self._gate_slots: Tuple[Tuple[int, Tuple[Tuple[int, int], ...]], ...] = (
+            tuple(gate_slots)
+        )
+        self._matrix = np.zeros((len(rows), len(self.parameters)))
+        for slot_row, row in enumerate(rows):
+            for slot_column, coeff in row.items():
+                self._matrix[slot_row, slot_column] = coeff
+        self._const = np.asarray(const, dtype=float)
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def num_slots(self) -> int:
+        """Symbolic gate-parameter slots rewritten per bind."""
+        return len(self._const)
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        return self._gates
+
+    def circuit(self) -> QuantumCircuit:
+        """The symbolic circuit (a copy; gate objects are shared)."""
+        out = QuantumCircuit(self.num_qubits, self.name)
+        out.gates = list(self._gates)
+        return out
+
+    # -- binding ---------------------------------------------------------------
+
+    def _theta(
+        self,
+        angles: Union[None, Sequence[float], Mapping[Any, float]],
+    ) -> np.ndarray:
+        if angles is None:
+            if self.default_angles is None:
+                raise BindError(
+                    "template has no default angles: pass a theta vector"
+                )
+            return self.default_angles
+        if isinstance(angles, Mapping):
+            by_name: Dict[str, float] = {}
+            for key, value in angles.items():
+                by_name[key.name if isinstance(key, Parameter) else str(key)] = value
+            known = {p.name for p in self.parameters}
+            unknown = sorted(set(by_name) - known)
+            if unknown:
+                raise BindError(f"unknown parameter(s): {unknown}")
+            missing = sorted(known - set(by_name))
+            if missing:
+                raise BindError(f"missing parameter(s): {missing}")
+            angles = [by_name[p.name] for p in self.parameters]
+        theta = np.asarray(angles, dtype=float)
+        if theta.shape != (len(self.parameters),):
+            raise BindError(
+                f"expected {len(self.parameters)} angles, got "
+                f"{theta.shape[0] if theta.ndim == 1 else theta.shape}"
+            )
+        return theta
+
+    def bind(
+        self,
+        angles: Union[None, Sequence[float], Mapping[Any, float]] = None,
+    ) -> QuantumCircuit:
+        """Bind a full angle assignment and return the concrete circuit.
+
+        ``angles`` is a vector in :attr:`parameters` order, a mapping
+        (parameter/name -> value, must cover every parameter exactly),
+        or ``None`` for :attr:`default_angles`.  Wrong lengths, unknown
+        names, and missing parameters raise :class:`BindError`.
+        """
+        theta = self._theta(angles)
+        values = self._matrix.dot(theta) + self._const if self.num_slots else self._const
+        gates = list(self._gates)
+        for gate_index, pairs in self._gate_slots:
+            gate = gates[gate_index]
+            params = list(gate.params)
+            for param_index, slot_row in pairs:
+                params[param_index] = float(values[slot_row])
+            gates[gate_index] = Gate(gate.name, gate.qubits, tuple(params))
+        out = QuantumCircuit(self.num_qubits, self.name)
+        out.gates = gates
+        return out
+
+    # -- hashing + serialization -----------------------------------------------
+
+    def _structure_payload(self) -> Dict[str, Any]:
+        return {
+            "version": TEMPLATE_VERSION,
+            "num_qubits": self.num_qubits,
+            "parameters": [p.name for p in self.parameters],
+            "gates": [
+                [
+                    gate.name,
+                    list(gate.qubits),
+                    [encode_param(value) for value in gate.params],
+                ]
+                for gate in self._gates
+            ],
+        }
+
+    def structure_hash(self) -> str:
+        """sha256 over the angle-free structure (gates, wires, constant
+        params, symbolic slot wiring) — stable across rebinds and across
+        the workload's baked angle values."""
+        payload = json.dumps(
+            self._structure_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = self._structure_payload()
+        payload["name"] = self.name
+        payload["default_angles"] = (
+            None if self.default_angles is None else list(self.default_angles)
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CompiledTemplate":
+        interned: Dict[str, Parameter] = {
+            name: Parameter(name) for name in payload["parameters"]
+        }
+        circuit = QuantumCircuit(payload["num_qubits"], payload.get("name", ""))
+        circuit.gates = [
+            Gate(
+                name,
+                tuple(qubits),
+                tuple(decode_param(value, interned) for value in params),
+            )
+            for name, qubits, params in payload["gates"]
+        ]
+        return cls(
+            circuit,
+            parameters=[interned[name] for name in payload["parameters"]],
+            default_angles=payload.get("default_angles"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompiledTemplate":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTemplate({self.num_qubits}q, {len(self._gates)} gates, "
+            f"{self.num_parameters} parameters, {self.num_slots} slots)"
+        )
+
+
+def _first_appearance_order(gates: Sequence[Gate]) -> Tuple[Parameter, ...]:
+    seen: Dict[str, Parameter] = {}
+    for gate in gates:
+        for value in gate.params:
+            if isinstance(value, ParameterExpression):
+                for parameter in value.parameters:
+                    seen.setdefault(parameter.name, parameter)
+    return tuple(seen.values())

@@ -9,6 +9,7 @@ custom pass lists)::
     python -m repro.cli --bench LiH --compiler tetris --device ithaca
     python -m repro.cli --bench chem:LiH --device grid:8x8
     python -m repro.cli --bench LiH --compiler tetris:no-bridge --profile-passes
+    python -m repro.cli --bench chem:LiH --parametric   # template + timed bind
     python -m repro.cli --bench qaoa:Rand-16 --compiler tetris-qaoa --qasm out.qasm
     python -m repro.cli --bench ucc:UCC-10 --compiler paulihedral --blocks 50
 
@@ -125,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile-passes", action="store_true",
                         help="print the per-pass profile (wall time and "
                              "CNOT/1Q/depth deltas) after the metrics")
+    parser.add_argument("--parametric", action="store_true",
+                        help="compile the Pauli structure once against "
+                             "symbolic theta[i] angles, print the template "
+                             "summary, and time one angle rebind")
     parser.add_argument("--qasm", default="", help="write OpenQASM to this path")
     parser.add_argument("--list-benchmarks", action="store_true",
                         help="print every workload provider + instance and exit")
@@ -255,6 +260,12 @@ def single_main(argv) -> int:
         if args.blocks > 0:
             blocks = blocks[: args.blocks]
         coupling = resolve_device(args.device, blocks[0].num_qubits)
+        template = None
+        if args.parametric:
+            from .circuit.template import CompiledTemplate
+            from .service.templates import parametrize_blocks
+
+            blocks, parameters, defaults = parametrize_blocks(blocks)
         run = run_pipeline(
             args.compiler,
             blocks,
@@ -263,6 +274,12 @@ def single_main(argv) -> int:
             params=_single_compiler_params(args),
             profile=args.profile_passes,
         )
+        if args.parametric:
+            template = CompiledTemplate(
+                run.result.circuit,
+                parameters=parameters,
+                default_angles=defaults,
+            )
     except (RegistryError, PipelineError, KeyError) as exc:
         parser.error(str(exc))
     metrics = run.metrics()
@@ -280,9 +297,23 @@ def single_main(argv) -> int:
               f"oneq={totals['one_qubit']} depth={totals['depth']} "
               f"(metrics: {metrics.cnot_gates}/{metrics.one_qubit_gates}"
               f"/{metrics.depth})")
+    if template is not None:
+        bind_start = time.perf_counter()
+        bound = template.bind()
+        bind_seconds = time.perf_counter() - bind_start
+        print()
+        print(f"template: {template.num_parameters} parameters, "
+              f"{template.num_slots} angle slots, "
+              f"structure {template.structure_hash()[:12]}")
+        print(f"bind(defaults): {len(bound.gates)} gates in "
+              f"{bind_seconds * 1e3:.3f} ms "
+              f"(compile was {metrics.compile_seconds:.3f} s)")
     if args.qasm:
+        # Parametric circuits carry symbolic angles; QASM needs numbers,
+        # so dump the default-angle binding.
+        circuit = template.bind() if template is not None else run.result.circuit
         with open(args.qasm, "w") as handle:
-            handle.write(to_qasm(run.result.circuit))
+            handle.write(to_qasm(circuit))
         print(f"wrote {args.qasm}")
     return 0
 

@@ -47,20 +47,38 @@ def consolidate_one_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
     out = QuantumCircuit(circuit.num_qubits, circuit.name)
     pending: List[Optional[List[Gate]]] = [None] * circuit.num_qubits
 
+    def emit(segment: List[Gate]) -> None:
+        """Emit one numeric-only run segment: verbatim when length 1,
+        otherwise multiplied out into at most one U3."""
+        if not segment:
+            return
+        if len(segment) == 1:
+            out.gates.append(segment[0])
+            return
+        matrix = np.eye(2, dtype=complex)
+        for gate in segment:
+            matrix = gate_unitary(gate) @ matrix
+        angles = _zyz_angles(matrix)
+        if angles is not None:
+            out.gates.append(Gate(g.U3, segment[0].qubits, angles))
+
     def flush(qubit: int) -> None:
         run = pending[qubit]
         pending[qubit] = None
         if not run:
             return
-        if len(run) == 1:
-            out.gates.append(run[0])
-            return
-        matrix = np.eye(2, dtype=complex)
+        # Symbolic gates have no numeric unitary: they split the run and
+        # pass through verbatim, so binding the template later yields
+        # exactly this structure regardless of the angle values.
+        segment: List[Gate] = []
         for gate in run:
-            matrix = gate_unitary(gate) @ matrix
-        angles = _zyz_angles(matrix)
-        if angles is not None:
-            out.gates.append(Gate(g.U3, run[0].qubits, angles))
+            if gate.is_parameterized():
+                emit(segment)
+                segment = []
+                out.gates.append(gate)
+            else:
+                segment.append(gate)
+        emit(segment)
 
     for gate in circuit.gates:
         if gate.is_one_qubit():

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from ..circuit import gate as g
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.gate import Gate
+from ..circuit.parameter import is_symbolic
 
 _TWO_PI = 2.0 * math.pi
 
@@ -45,7 +46,14 @@ class _WireIndex:
 
 def _merge_rotations(kept: Gate, new: Gate) -> Optional[Gate]:
     """Merge two same-axis rotations; None means they cancel entirely."""
-    angle = (kept.params[0] + new.params[0]) % (2.0 * _TWO_PI)
+    angle = kept.params[0] + new.params[0]
+    if is_symbolic(angle):
+        # A symbolic sum keeps its unreduced linear form; structurally
+        # cancelling sums (w*theta - w*theta) degrade to a plain float
+        # in ParameterExpression arithmetic and take the numeric path
+        # below, matching what baked angles would do.
+        return Gate(kept.name, kept.qubits, (angle,))
+    angle %= 2.0 * _TWO_PI
     # A rotation by 2*pi equals -identity (global phase): safe to drop.
     if min(angle % _TWO_PI, _TWO_PI - (angle % _TWO_PI)) < 1e-12:
         return None

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..circuit.parameter import is_symbolic
 from .pauli_string import PauliString
 from .table import PauliTable
 
@@ -54,7 +55,9 @@ class PauliBlock:
         self._strings: Tuple[PauliString, ...] = tuple(strings)
         self._weights: Tuple[float, ...] = tuple(float(w) for w in weights)
         self._table: Optional[PauliTable] = None
-        self.angle = float(angle)
+        # Symbolic angles (template compilation) pass through untouched;
+        # anything else must coerce to a float as before.
+        self.angle = angle if is_symbolic(angle) else float(angle)
         self.label = label
 
     # -- views -----------------------------------------------------------------

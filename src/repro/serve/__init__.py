@@ -26,9 +26,15 @@ Pieces: :mod:`~repro.serve.server` (the daemon + admission control),
 protocol` (wire shapes + HTTP framing), :mod:`~repro.serve.client`
 (blocking client), :mod:`~repro.serve.cli` (the subcommand).
 
+Parametric jobs get a fifth, bind-only layer: ``POST /bind`` pins the
+compiled :class:`~repro.circuit.template.CompiledTemplate` server-side
+and answers each request with a cheap angle rebind — an optimizer loop
+is one compile plus N binds, not N compiles.
+
 Environment knobs: ``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT`` /
 ``REPRO_SERVE_WORKERS`` / ``REPRO_SERVE_HOT_BYTES`` /
-``REPRO_SERVE_QUEUE_DEPTH`` / ``REPRO_SERVE_TENANT_QUOTA``.
+``REPRO_SERVE_QUEUE_DEPTH`` / ``REPRO_SERVE_TENANT_QUOTA`` /
+``REPRO_SERVE_TEMPLATES``.
 """
 
 from .client import ReproClient, ServeError
@@ -38,6 +44,8 @@ from .protocol import (
     SERVED_DISK,
     SERVED_FRESH,
     SERVED_HOT,
+    SERVED_TEMPLATE,
+    BindReply,
     ProtocolError,
     ServeReply,
 )
@@ -61,6 +69,7 @@ __all__ = [
     "ReproClient",
     "ServeError",
     "ServeReply",
+    "BindReply",
     "ProtocolError",
     "HotCache",
     "DEFAULT_HOT_BYTES",
@@ -69,4 +78,5 @@ __all__ = [
     "SERVED_DISK",
     "SERVED_DEDUP",
     "SERVED_FRESH",
+    "SERVED_TEMPLATE",
 ]

@@ -23,7 +23,7 @@ import json
 from typing import Any, Dict, Iterator, Optional, Sequence, Union
 
 from ..service.jobs import CompileJob
-from .protocol import ServeReply
+from .protocol import BindReply, ServeReply
 
 DEFAULT_TIMEOUT = 300.0
 
@@ -153,6 +153,36 @@ class ReproClient:
             line = line.strip()
             if line:
                 yield ServeReply.from_payload(json.loads(line))
+
+    def bind(
+        self,
+        job: Union[CompileJob, Dict[str, Any], None] = None,
+        theta: Optional[Sequence[float]] = None,
+        priority: int = 0,
+        qasm: bool = False,
+        **spec: Any,
+    ) -> BindReply:
+        """Bind angles into the job's server-resident compiled template.
+
+        The job is forced parametric; the first call compiles the
+        structure once, every later call (any ``theta``) is a cheap
+        rebind.  ``theta=None`` binds the workload's own baked angles.
+        """
+        from dataclasses import replace
+
+        compile_job = _as_job(job, spec)
+        if not compile_job.parametric:
+            compile_job = replace(compile_job, parametric=True)
+        payload: Dict[str, Any] = {
+            "job": compile_job.to_dict(),
+            "priority": priority,
+            "qasm": qasm,
+        }
+        if theta is not None:
+            payload["theta"] = [float(value) for value in theta]
+        if self.tenant:
+            payload["tenant"] = self.tenant
+        return BindReply.from_payload(self._json("POST", "/bind", payload))
 
     def stats(self) -> Dict[str, Any]:
         return self._json("GET", "/stats")

@@ -14,6 +14,13 @@ streaming responses).  Endpoints::
     POST /batch     {"jobs": [{...}, ...], ...}
                                -> chunked NDJSON, one result line per job
                                   in submission order
+    POST /bind      {"job": {...}, "theta": [...], "qasm": false, ...}
+                               -> {"served": ..., "parameters": ...,
+                                   "bind_seconds": ..., "metrics": {...}}
+                                  (compile-once/bind-many: the job is
+                                  forced parametric, its template is
+                                  pinned server-side, and each request
+                                  pays only an angle rebind)
     POST /shutdown  {"drain": true}
                                -> {"ok": true}; server drains and exits
 
@@ -27,7 +34,9 @@ terminator.
 ``served`` in a compile/batch response names the channel that produced
 the result: ``hot`` (in-memory cache), ``disk`` (on-disk cache,
 promoted to hot), ``dedup`` (attached to an identical in-flight
-request), or ``fresh`` (executed on the worker pool).
+request), or ``fresh`` (executed on the worker pool).  Bind responses
+additionally use ``template`` — the structure was already resident in
+the server's template slots, so no compile machinery ran at all.
 """
 
 from __future__ import annotations
@@ -35,7 +44,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..service.jobs import CompileJob, JobResult
 
@@ -44,6 +53,7 @@ SERVED_HOT = "hot"
 SERVED_DISK = "disk"
 SERVED_DEDUP = "dedup"
 SERVED_FRESH = "fresh"
+SERVED_TEMPLATE = "template"
 
 #: Framing limits — one oversized/malicious request must not balloon
 #: the resident daemon.
@@ -93,6 +103,79 @@ class ServeReply:
             served=served,
             queue_wait_s=payload.get("queue_wait_s", 0.0),
         )
+
+
+@dataclass
+class BindReply:
+    """One answered ``/bind`` request.
+
+    ``served`` names where the *template* came from (``template`` for a
+    resident one; otherwise the compile channel that produced it); the
+    bind itself always runs in-process on the server.  ``metrics`` is
+    the bound circuit's measured :class:`~repro.circuit.metrics.
+    CircuitMetrics` row; ``qasm`` is attached only on request.
+    """
+
+    served: str
+    job_hash: str
+    parameters: int
+    bind_seconds: float
+    queue_wait_s: float = 0.0
+    metrics: Optional[Dict[str, Any]] = None
+    qasm: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "served": self.served,
+            "job_hash": self.job_hash,
+            "parameters": self.parameters,
+            "bind_seconds": round(self.bind_seconds, 9),
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "metrics": self.metrics,
+        }
+        if self.qasm is not None:
+            payload["qasm"] = self.qasm
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "BindReply":
+        return cls(
+            served=payload.get("served", SERVED_TEMPLATE),
+            job_hash=payload.get("job_hash", ""),
+            parameters=int(payload.get("parameters", 0)),
+            bind_seconds=float(payload.get("bind_seconds", 0.0)),
+            queue_wait_s=float(payload.get("queue_wait_s", 0.0)),
+            metrics=payload.get("metrics"),
+            qasm=payload.get("qasm"),
+        )
+
+
+def parse_bind_request(
+    payload: Mapping[str, Any], default_tenant: str = "default"
+) -> Tuple[CompileJob, Optional[List[float]], str, int, bool]:
+    """Decode one bind body -> (job, theta, tenant, priority, qasm).
+
+    The job is forced parametric regardless of the spec's own flag (a
+    bind request is *about* the template); ``theta`` of null/absent
+    means "bind the workload's own baked angles".
+    """
+    job, tenant, priority, _profile = parse_compile_request(
+        payload, default_tenant
+    )
+    if not job.parametric:
+        from dataclasses import replace
+
+        job = replace(job, parametric=True)
+    theta = payload.get("theta")
+    if theta is not None:
+        if not isinstance(theta, (list, tuple)):
+            raise ProtocolError('"theta" must be a list of angles')
+        try:
+            theta = [float(value) for value in theta]
+        except (TypeError, ValueError):
+            raise ProtocolError("theta angles must be numbers") from None
+    include_qasm = bool(payload.get("qasm", False))
+    return job, theta, tenant, priority, include_qasm
 
 
 def parse_compile_request(

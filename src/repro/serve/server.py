@@ -28,6 +28,12 @@ jobs, then closes the pool.
 ``workers=0`` runs jobs inline on a single server-process thread — no
 fork, same semantics — which tests, the stdio mode, and fork-less
 platforms use.
+
+On top of the compile layers sits a fifth, bind-only layer: ``/bind``
+requests pin the job's compiled :class:`~repro.circuit.template.
+CompiledTemplate` in an LRU of ``template_slots`` live objects, so an
+optimizer loop pays one compile and then per-iteration angle rebinds
+that never touch the pool (``serve.template_binds`` counts them).
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ import json
 import os
 import sys
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -53,12 +60,16 @@ from ..service.pool import (
     make_payload,
     merge_envelope,
 )
+from ..circuit.qasm import to_qasm
+from ..circuit.template import CompiledTemplate
 from .hotcache import DEFAULT_HOT_BYTES, HotCache
 from .protocol import (
     SERVED_DEDUP,
     SERVED_DISK,
     SERVED_FRESH,
     SERVED_HOT,
+    SERVED_TEMPLATE,
+    BindReply,
     HttpRequest,
     ProtocolError,
     ServeReply,
@@ -67,6 +78,7 @@ from .protocol import (
     http_response,
     last_chunk,
     ndjson_line,
+    parse_bind_request,
     parse_compile_request,
     read_http_request,
 )
@@ -77,6 +89,7 @@ WORKERS_ENV = "REPRO_SERVE_WORKERS"
 HOT_BYTES_ENV = "REPRO_SERVE_HOT_BYTES"
 QUEUE_DEPTH_ENV = "REPRO_SERVE_QUEUE_DEPTH"
 TENANT_QUOTA_ENV = "REPRO_SERVE_TENANT_QUOTA"
+TEMPLATE_SLOTS_ENV = "REPRO_SERVE_TEMPLATES"
 
 DEFAULT_PORT = 8421
 
@@ -103,6 +116,7 @@ class ServeConfig:
     tenant_quota: int = 64             #: concurrent requests/tenant; 0 = off
     cache_dir: Optional[str] = None    #: disk cache root (None = default)
     use_disk_cache: bool = True        #: layer over the on-disk ResultCache
+    template_slots: int = 16           #: resident bindable templates (LRU)
 
     @classmethod
     def from_env(cls, **overrides: Any) -> "ServeConfig":
@@ -114,6 +128,7 @@ class ServeConfig:
             hot_bytes=_env_int(HOT_BYTES_ENV, cls.hot_bytes),
             queue_depth=_env_int(QUEUE_DEPTH_ENV, cls.queue_depth),
             tenant_quota=_env_int(TENANT_QUOTA_ENV, cls.tenant_quota),
+            template_slots=_env_int(TEMPLATE_SLOTS_ENV, cls.template_slots),
         )
         for name, value in overrides.items():
             if value is not None:
@@ -195,7 +210,12 @@ class ReproServer:
             "dedup_hits": 0,
             "jobs_executed": 0,
             "jobs_failed": 0,
+            "template_binds": 0,
         }
+        #: Deserialized, bind-ready templates keyed by (parametric) job
+        #: hash.  Small by count, not bytes: entries are live Python
+        #: objects, unlike the serialized hot cache below them.
+        self._templates: "OrderedDict[str, CompiledTemplate]" = OrderedDict()
         self._slots = max(1, self.config.workers)
         self._pool: Optional[WorkerPool] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -384,6 +404,80 @@ class ReproServer:
         text, wait = await pending.future
         return ServeReply(JobResult.from_json(text), SERVED_FRESH, wait)
 
+    # -- template binding ----------------------------------------------
+
+    def _remember_template(
+        self, job_hash: str, template: CompiledTemplate
+    ) -> None:
+        self._templates[job_hash] = template
+        self._templates.move_to_end(job_hash)
+        while len(self._templates) > max(1, self.config.template_slots):
+            self._templates.popitem(last=False)
+
+    async def submit_bind(
+        self,
+        job: CompileJob,
+        theta: Optional[Sequence[float]] = None,
+        tenant: str = "default",
+        priority: int = 0,
+        include_qasm: bool = False,
+    ) -> BindReply:
+        """Serve one bind: resident template -> compile layers -> rebind.
+
+        The first request for a structure compiles it parametrically
+        through the normal four layers (so a concurrent cold storm
+        still executes exactly one pool job, via dedup); every later
+        request finds the template resident and pays only the angle
+        rebind — ``jobs_executed`` does not move.
+        """
+        from ..circuit.metrics import measure_circuit
+        from ..service.templates import as_parametric
+
+        job = as_parametric(job)
+        state = self._tenant(tenant)
+        job_hash = job.content_hash()
+        template = self._templates.get(job_hash)
+        if template is not None:
+            state.requests += 1
+            self.counts["requests"] += 1
+            METRICS.counter(obs_metrics.SERVE_REQUESTS).inc()
+            self._templates.move_to_end(job_hash)
+            served, queue_wait = SERVED_TEMPLATE, 0.0
+        else:
+            reply = await self.submit(
+                job, tenant=tenant, priority=priority, profile=False
+            )
+            if reply.result.error is not None:
+                raise ServeRejected(
+                    500, f"template compile failed: {reply.result.error}"
+                )
+            template = reply.result.template
+            if template is None:
+                raise ServeRejected(
+                    500, "compile produced no template (not a parametric job?)"
+                )
+            self._remember_template(job_hash, template)
+            served, queue_wait = reply.served, reply.queue_wait_s
+        with obs_span("serve:bind", "serve", label=job.label()) as sp:
+            start = time.perf_counter()
+            try:
+                circuit = template.bind(theta)
+            except ValueError as exc:  # BindError included
+                raise ProtocolError(str(exc)) from None
+            bind_seconds = time.perf_counter() - start
+            sp.set(served=served, parameters=template.num_parameters)
+        self.counts["template_binds"] += 1
+        METRICS.counter(obs_metrics.SERVE_TEMPLATE_BINDS).inc()
+        return BindReply(
+            served=served,
+            job_hash=job_hash,
+            parameters=template.num_parameters,
+            bind_seconds=bind_seconds,
+            queue_wait_s=queue_wait,
+            metrics=measure_circuit(circuit).as_row(),
+            qasm=to_qasm(circuit) if include_qasm else None,
+        )
+
     async def submit_batch(
         self,
         jobs: Sequence[CompileJob],
@@ -540,6 +634,11 @@ class ReproServer:
                 "requests": dict(self.counts),
             },
             "hot_cache": self.hot.stats(),
+            "templates": {
+                "entries": len(self._templates),
+                "slots": self.config.template_slots,
+                "binds": self.counts["template_binds"],
+            },
             "disk_cache": disk_cache,
             "tenants": {
                 name: state.as_dict()
@@ -587,6 +686,8 @@ class ReproServer:
                 await self._route_compile(request, writer)
             elif request.path == "/batch" and request.method == "POST":
                 await self._route_batch(request, writer)
+            elif request.path == "/bind" and request.method == "POST":
+                await self._route_bind(request, writer)
             elif request.path == "/shutdown" and request.method == "POST":
                 drain = bool(request.json().get("drain", True))
                 writer.write(http_response(
@@ -596,7 +697,7 @@ class ReproServer:
                 asyncio.ensure_future(self.shutdown(drain=drain))
                 return
             elif request.path in ("/healthz", "/stats", "/compile",
-                                  "/batch", "/shutdown"):
+                                  "/batch", "/bind", "/shutdown"):
                 writer.write(error_response(
                     405, f"{request.method} not allowed on {request.path}",
                     keep_alive=keep,
@@ -628,6 +729,18 @@ class ReproServer:
         )
         reply = await self.submit(job, tenant=tenant, priority=priority,
                                   profile=profile)
+        writer.write(http_response(200, reply.to_payload(),
+                                   keep_alive=request.keep_alive))
+
+    async def _route_bind(self, request: HttpRequest, writer) -> None:
+        payload = request.json()
+        job, theta, tenant, priority, include_qasm = parse_bind_request(
+            payload, default_tenant=self._request_tenant(request, payload)
+        )
+        reply = await self.submit_bind(
+            job, theta=theta, tenant=tenant, priority=priority,
+            include_qasm=include_qasm,
+        )
         writer.write(http_response(200, reply.to_payload(),
                                    keep_alive=request.keep_alive))
 
@@ -679,8 +792,8 @@ class ReproServer:
 async def run_stdio(server: ReproServer, stdin=None, stdout=None) -> int:
     """Newline-delimited JSON transport over stdin/stdout.
 
-    One request object per line (``op``: compile/batch/stats/healthz/
-    shutdown); responses echo the request ``id``.  EOF drains and shuts
+    One request object per line (``op``: compile/batch/bind/stats/
+    healthz/shutdown); responses echo the request ``id``.  EOF drains and shuts
     the server down, same as an explicit shutdown op.
     """
     stdin = stdin if stdin is not None else sys.stdin
@@ -730,6 +843,15 @@ async def run_stdio(server: ReproServer, stdin=None, stdout=None) -> int:
                     emit({"id": request_id, "seq": seq, **reply.to_payload()})
                     seq += 1
                 emit({"id": request_id, "done": True, "results": seq})
+            elif op == "bind":
+                job, theta, tenant, priority, include_qasm = (
+                    parse_bind_request(payload)
+                )
+                bind_reply = await server.submit_bind(
+                    job, theta=theta, tenant=tenant, priority=priority,
+                    include_qasm=include_qasm,
+                )
+                emit({"id": request_id, **bind_reply.to_payload()})
             elif op == "stats":
                 emit({"id": request_id, "stats": server.stats_payload()})
             elif op == "healthz":

@@ -53,6 +53,7 @@ from .pool import (
     worker_count,
 )
 from .sink import CsvSink, JsonlSink, write_results
+from .templates import TemplateCache, as_parametric, parametrize_blocks
 
 __all__ = [
     "SPEC_VERSION",
@@ -83,4 +84,7 @@ __all__ = [
     "JsonlSink",
     "CsvSink",
     "write_results",
+    "TemplateCache",
+    "as_parametric",
+    "parametrize_blocks",
 ]

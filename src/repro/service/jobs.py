@@ -33,6 +33,7 @@ from functools import lru_cache
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..circuit.metrics import CircuitMetrics
+from ..circuit.template import CompiledTemplate
 from ..compiler import (
     MaxCancelCompiler,
     PaulihedralCompiler,
@@ -131,6 +132,13 @@ class CompileJob:
     their registries at construction; ``bench`` is validated only when
     namespaced (bare names stay lazy, erroring at run time, exactly as
     under SPEC_VERSION 1).
+
+    ``parametric=True`` compiles the workload's *structure* only: each
+    block's angle becomes a symbolic ``theta[i]`` and the result carries
+    a :class:`~repro.circuit.template.CompiledTemplate` whose
+    ``bind(theta)`` rewrites just the angle fields.  The content hash
+    still covers only structural axes (the flag itself distinguishes
+    parametric from baked cells; no angle value ever enters the hash).
     """
 
     bench: str
@@ -141,6 +149,7 @@ class CompileJob:
     blocks: int = 0
     optimization_level: int = 3
     params: Tuple[Tuple[str, Any], ...] = ()
+    parametric: bool = False
 
     def __post_init__(self):
         if isinstance(self.params, Mapping):
@@ -150,6 +159,7 @@ class CompileJob:
         object.__setattr__(
             self, "params", tuple(sorted((str(k), v) for k, v in pairs))
         )
+        object.__setattr__(self, "parametric", bool(self.parametric))
         resolve_compiler_spec(self.compiler)  # raises on unknown specs
         canonical_device_spec(self.device)  # raises on unknown/malformed specs
         if ":" in self.bench:
@@ -158,7 +168,7 @@ class CompileJob:
             raise ValueError(f"scale must be one of {SCALES}, got {self.scale!r}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        spec = {
             "bench": self.bench,
             "compiler": self.compiler,
             "encoder": self.encoder,
@@ -168,6 +178,11 @@ class CompileJob:
             "optimization_level": self.optimization_level,
             "params": {key: value for key, value in self.params},
         }
+        # Emitted only when set: baked specs keep their pre-template
+        # payload bytes and content hashes, and old payloads round-trip.
+        if self.parametric:
+            spec["parametric"] = True
+        return spec
 
     @classmethod
     def from_dict(cls, spec: Mapping[str, Any]) -> "CompileJob":
@@ -222,6 +237,8 @@ class CompileJob:
         tag = f"{self.bench}/{self.encoder}/{self.compiler}@{self.device}"
         if self.params:
             tag += "(" + ",".join(f"{k}={v}" for k, v in self.params) + ")"
+        if self.parametric:
+            tag += "[parametric]"
         return tag
 
 
@@ -275,6 +292,10 @@ class JobResult:
     ``profile`` is the optional per-pass instrumentation of a
     ``profile=True`` run; it serializes (and caches) when present and is
     omitted entirely otherwise, keeping unprofiled output bytes stable.
+    ``template`` rides along the same way for parametric jobs: the
+    compiled :class:`~repro.circuit.template.CompiledTemplate` serializes
+    inside the result, so it crosses the worker pool and the on-disk
+    cache and stays bindable on the other side.
     """
 
     job: CompileJob
@@ -283,6 +304,7 @@ class JobResult:
     error: Optional[str] = None
     cached: bool = False
     profile: Optional[PipelineProfile] = None
+    template: Optional[CompiledTemplate] = None
 
     @property
     def ok(self) -> bool:
@@ -331,18 +353,24 @@ class JobResult:
         }
         if self.profile is not None:
             payload["profile"] = self.profile.to_dict()
+        if self.template is not None:
+            payload["template"] = self.template.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "JobResult":
         metrics = payload.get("metrics")
         profile = payload.get("profile")
+        template = payload.get("template")
         return cls(
             job=CompileJob.from_dict(payload["job"]),
             metrics=None if metrics is None else CircuitMetrics(**metrics),
             optimize_seconds=payload.get("optimize_seconds", 0.0),
             error=payload.get("error"),
             profile=None if profile is None else PipelineProfile.from_dict(profile),
+            template=(
+                None if template is None else CompiledTemplate.from_dict(template)
+            ),
         )
 
     def to_json(self) -> str:
@@ -405,10 +433,24 @@ def run_job(job: CompileJob, profile: bool = False) -> JobResult:
         optimization_level=job.optimization_level,
         params=dict(job.params),
     )
-    run = manager.run(blocks, coupling, profile=profile)
+    template = None
+    if job.parametric:
+        # Lazy import: templates.py imports this module for run_job.
+        from .templates import parametrize_blocks
+
+        blocks, parameters, defaults = parametrize_blocks(blocks)
+        run = manager.run(blocks, coupling, profile=profile)
+        template = CompiledTemplate(
+            run.result.circuit,
+            parameters=parameters,
+            default_angles=defaults,
+        )
+    else:
+        run = manager.run(blocks, coupling, profile=profile)
     return JobResult(
         job=job,
         metrics=run.metrics(),
         optimize_seconds=run.optimize_seconds,
         profile=run.profile,
+        template=template,
     )

@@ -36,6 +36,7 @@ from repro.serve import (
     SERVED_DISK,
     SERVED_FRESH,
     SERVED_HOT,
+    SERVED_TEMPLATE,
     ServeConfig,
     ServeError,
     ServeRejected,
@@ -468,6 +469,73 @@ class TestServeHttp:
                 stats = client.stats()
         assert stats["tenants"]["team-a"]["requests"] == 1
         assert stats["tenants"]["team-a"]["jobs"] == 1
+
+
+class TestServeBind:
+    """The template-bind layer: one compile, then zero pool jobs ever."""
+
+    def test_concurrent_bind_storm_executes_one_job(self):
+        """A cold bind storm mirrors the compile-dedup invariant — one
+        execution total — and every later bind is answered from the
+        resident template without ``jobs_executed`` moving."""
+        with inline_server() as bg:
+            probe = bg.client()
+            replies = []
+
+            def request():
+                with bg.client() as client:
+                    replies.append(client.bind(**SLOW))
+
+            leader = threading.Thread(target=request)
+            leader.start()
+            wait_until(
+                lambda: probe.stats()["server"]["queue"]["running"] >= 1
+            )
+            followers = [threading.Thread(target=request) for _ in range(3)]
+            for thread in followers:
+                thread.start()
+            for thread in [leader, *followers]:
+                thread.join(timeout=60)
+            assert sorted(reply.served for reply in replies) == [
+                SERVED_DEDUP, SERVED_DEDUP, SERVED_DEDUP, SERVED_FRESH,
+            ]
+            parameters = replies[0].parameters
+            assert parameters > 0
+            # The optimizer-loop shape: every angle vector is new, so
+            # no result cache can help — only the template layer can.
+            for step in range(10):
+                reply = probe.bind(**SLOW, theta=[0.1 * step] * parameters)
+                assert reply.served == SERVED_TEMPLATE
+            stats = probe.stats()
+            probe.close()
+        requests = stats["server"]["requests"]
+        assert requests["jobs_executed"] == 1  # pinned: binds are free
+        assert requests["dedup_hits"] == 3
+        assert requests["template_binds"] == 14
+        assert stats["templates"]["binds"] == 14
+        assert stats["templates"]["entries"] == 1
+
+    def test_bind_wrong_length_theta_is_400(self):
+        with inline_server() as bg:
+            with bg.client() as client:
+                warm = client.bind(**FAST)
+                with pytest.raises(ServeError) as excinfo:
+                    client.bind(**FAST, theta=[0.1] * (warm.parameters + 1))
+                stats = client.stats()
+        assert excinfo.value.status == 400
+        assert "angles" in excinfo.value.reason
+        assert stats["server"]["requests"]["jobs_executed"] == 1
+
+    def test_bind_and_compile_jobs_do_not_collide(self):
+        """A parametric cell hashes differently from its baked twin, so
+        the bind layer never poisons plain compile results."""
+        with inline_server() as bg:
+            with bg.client() as client:
+                client.bind(**FAST)
+                compiled = client.compile(**FAST)
+                stats = client.stats()
+        assert compiled.served == SERVED_FRESH  # its own execution
+        assert stats["server"]["requests"]["jobs_executed"] == 2
 
 
 class TestServePool:
