@@ -1,0 +1,283 @@
+"""Whole-pass wall-clocks: frozen scalar references vs the live hot tail.
+
+Extends the ``BENCH_pauli.json`` pattern from kernels to passes.  Each
+cell times a frozen pre-vectorization reference (:mod:`repro.passes
+.reference`, :mod:`repro.routing.reference`, :mod:`repro.compiler.tetris
+.reference`) against the live implementation on the same UCC-n workload,
+asserts the outputs are gate-for-gate identical first, and records the
+pinned gate-sequence hash alongside the timings.  Cells:
+
+- ``cancel`` / ``consolidate-1q``: peephole cancellation and 1Q-run
+  consolidation over the raw synthesized circuit;
+- ``layout`` / ``route``: greedy interaction layout and SWAP routing of
+  the logical circuit onto the device;
+- ``tetris-e2e``: the full lower -> layout -> synthesize -> decompose ->
+  cancel -> consolidate chain, the headline of this refactor (UCC-20
+  must be >= 3x; UCC-40 must be routine smoke-test scale).
+
+Results land in ``BENCH_passes.json``; the CI perf-smoke job replays
+with ``--quick --gate`` and ``tools/check_bench.py`` enforces the
+whole-pass floor (live never slower than reference, UCC-20 target).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_passes.py [--quick] [--gate] \
+        [--out BENCH_passes.json] [--reps 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from typing import Callable, List, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.compiler.base import interaction_pairs
+from repro.compiler.tetris.ir import lower_blocks
+from repro.compiler.tetris.reference import run_tetris_reference
+from repro.hardware.families import resolve_device
+from repro.passes.consolidate import consolidate_one_qubit_runs
+from repro.passes.peephole import cancel_gates
+from repro.passes.reference import (
+    cancel_gates_reference,
+    consolidate_one_qubit_runs_reference,
+)
+from repro.pipeline import run_pipeline
+from repro.routing.layout import greedy_interaction_layout
+from repro.routing.reference import (
+    greedy_interaction_layout_reference,
+    route_circuit_reference,
+)
+from repro.routing.router import route_circuit
+from repro.workloads import workload_blocks
+
+#: Workload scale for every cell: the repo-wide default (``CompileJob``
+#: and the report pipeline both default to "small"), so the headline
+#: measures the compile users actually run.
+SCALE = "small"
+
+#: (n logical qubits, device spec) per benchmarked size.  UCC-40/60 are
+#: the scales this refactor turns into routine smoke tests.
+E2E_SIZES = ((12, "grid:4x4"), (20, "grid:5x5"), (40, "grid:7x6"),
+             (60, "grid:8x8"))
+QUICK_E2E_SIZES = ((12, "grid:4x4"), (20, "grid:5x5"))
+PASS_SIZE = (20, "grid:5x5")
+QUICK_PASS_SIZE = (20, "grid:5x5")
+
+#: Single-digit-seconds acceptance ceiling for the UCC-40 compile.
+UCC40_CEILING_SECONDS = 9.9
+
+
+def gate_hash(circuit: QuantumCircuit) -> str:
+    digest = hashlib.sha256()
+    for gate in circuit.gates:
+        digest.update(
+            repr((gate.name, tuple(gate.qubits), tuple(gate.params))).encode()
+        )
+    return digest.hexdigest()
+
+
+def sig(circuit: QuantumCircuit) -> List[Tuple]:
+    return [(g.name, tuple(g.qubits), tuple(g.params)) for g in circuit.gates]
+
+
+def timeit(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """Best-of-N wall time of ``fn()`` plus its (last) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def reference_e2e(blocks, coupling, num_logical: int) -> QuantumCircuit:
+    """The frozen pre-vectorization tetris chain, end to end."""
+    ir_blocks = lower_blocks(blocks, sort_strings=True)
+    layout = greedy_interaction_layout_reference(
+        num_logical, coupling, interaction_pairs(blocks)
+    )
+    circuit, _, _ = run_tetris_reference(ir_blocks, layout, coupling)
+    circuit = circuit.decompose_swaps()
+    circuit = cancel_gates_reference(circuit)
+    return consolidate_one_qubit_runs_reference(circuit)
+
+
+def live_e2e(blocks, coupling, num_logical: int) -> QuantumCircuit:
+    return run_pipeline(
+        "tetris", blocks, coupling, num_logical=num_logical
+    ).state["circuit"]
+
+
+def _cell(kernel, n, old_seconds, new_seconds, output, extra=None) -> dict:
+    row = {
+        "kernel": kernel,
+        "n": n,
+        "old_seconds": old_seconds,
+        "new_seconds": new_seconds,
+        "speedup": old_seconds / new_seconds,
+    }
+    if isinstance(output, QuantumCircuit):
+        row["gates"] = len(output.gates)
+        row["gate_hash"] = gate_hash(output)
+    if extra:
+        row.update(extra)
+    return row
+
+
+def bench_passes(n: int, device: str, repeats: int) -> List[dict]:
+    """The per-pass cells (cancel, consolidate, layout, route) at UCC-n."""
+    blocks = workload_blocks(f"ucc:UCC-{n}", "JW", SCALE)
+    coupling = resolve_device(device, n)
+    pairs = interaction_pairs(blocks)
+    results = []
+
+    # layout: identical placements, then timings.
+    ref_layout = greedy_interaction_layout_reference(n, coupling, pairs)
+    new_layout = greedy_interaction_layout(n, coupling, pairs)
+    assert ref_layout.physical_map() == new_layout.physical_map(), (
+        f"layout mismatch at UCC-{n}"
+    )
+    old_s, _ = timeit(
+        lambda: greedy_interaction_layout_reference(n, coupling, pairs), repeats
+    )
+    new_s, _ = timeit(
+        lambda: greedy_interaction_layout(n, coupling, pairs), repeats
+    )
+    results.append(_cell("layout", n, old_s, new_s, None))
+
+    # The raw synthesized circuit both cleanup passes run on, produced by
+    # the frozen reference synthesis chain so the input is pinned.
+    ir_blocks = lower_blocks(blocks, sort_strings=True)
+    raw, _, _ = run_tetris_reference(ir_blocks, ref_layout, coupling)
+    raw = raw.decompose_swaps()
+
+    ref_cancelled = cancel_gates_reference(raw)
+    new_cancelled = cancel_gates(raw)
+    assert sig(ref_cancelled) == sig(new_cancelled), f"cancel mismatch at UCC-{n}"
+    old_s, _ = timeit(lambda: cancel_gates_reference(raw), repeats)
+    new_s, out = timeit(lambda: cancel_gates(raw), repeats)
+    results.append(_cell("cancel", n, old_s, new_s, out))
+
+    ref_consolidated = consolidate_one_qubit_runs_reference(ref_cancelled)
+    new_consolidated = consolidate_one_qubit_runs(new_cancelled)
+    assert sig(ref_consolidated) == sig(new_consolidated), (
+        f"consolidate mismatch at UCC-{n}"
+    )
+    old_s, _ = timeit(
+        lambda: consolidate_one_qubit_runs_reference(ref_cancelled), repeats
+    )
+    new_s, out = timeit(
+        lambda: consolidate_one_qubit_runs(new_cancelled), repeats
+    )
+    results.append(_cell("consolidate-1q", n, old_s, new_s, out))
+
+    # route: a logical circuit (synthesized on all-to-all connectivity)
+    # routed onto the real device — the non-tetris compilers' hot path.
+    logical = reference_e2e(blocks, resolve_device("full", n), n)
+    ref_routed = route_circuit_reference(logical, coupling)
+    new_routed = route_circuit(logical, coupling)
+    assert sig(ref_routed.circuit) == sig(new_routed.circuit), (
+        f"route mismatch at UCC-{n}"
+    )
+    assert ref_routed.num_swaps == new_routed.num_swaps
+    old_s, _ = timeit(lambda: route_circuit_reference(logical, coupling), repeats)
+    new_s, out = timeit(lambda: route_circuit(logical, coupling), repeats)
+    results.append(
+        _cell("route", n, old_s, new_s, out.circuit,
+              extra={"num_swaps": out.num_swaps})
+    )
+    return results
+
+
+def bench_e2e(sizes, repeats: int) -> List[dict]:
+    results = []
+    for n, device in sizes:
+        blocks = workload_blocks(f"ucc:UCC-{n}", "JW", SCALE)
+        coupling = resolve_device(device, n)
+        # The big scales get fewer reps: their reference side dominates
+        # total bench time and min-of-N has already converged by then.
+        reps = repeats if n <= 20 else max(1, repeats - 3)
+        new_s, live = timeit(lambda: live_e2e(blocks, coupling, n), repeats)
+        old_s, ref = timeit(lambda: reference_e2e(blocks, coupling, n), reps)
+        assert sig(live) == sig(ref), f"tetris-e2e mismatch at UCC-{n}"
+        results.append(
+            _cell("tetris-e2e", n, old_s, new_s, live,
+                  extra={"device": device})
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes/fewer repeats (the CI setting)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 unless live >= reference everywhere, "
+                             "UCC-20 e2e >= 3x, and UCC-40 (when run) is "
+                             "single-digit seconds")
+    parser.add_argument("--out", default="BENCH_passes.json")
+    parser.add_argument("--reps", type=int, default=0,
+                        help="best-of repeats (default 7, quick 5)")
+    args = parser.parse_args(argv)
+
+    # Quick mode still takes 5 reps: the UCC-20 gate compares a ~0.15s
+    # measurement against a 3x floor, and min-of-3 was observed noisy
+    # enough (~8%) to flake right at the threshold.
+    repeats = args.reps or (5 if args.quick else 7)
+    pass_n, pass_device = QUICK_PASS_SIZE if args.quick else PASS_SIZE
+    e2e_sizes = QUICK_E2E_SIZES if args.quick else E2E_SIZES
+
+    results = bench_passes(pass_n, pass_device, repeats)
+    results.extend(bench_e2e(e2e_sizes, repeats))
+
+    payload = {
+        "benchmark": "pass-wallclocks",
+        "quick": args.quick,
+        "scale": SCALE,
+        "repeats": repeats,
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    header = f"{'kernel':<16} {'n':>4} {'old s':>10} {'new s':>10} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in results:
+        print(f"{row['kernel']:<16} {row['n']:>4} {row['old_seconds']:>10.4f} "
+              f"{row['new_seconds']:>10.4f} {row['speedup']:>8.2f}x")
+    print(f"wrote {args.out}")
+
+    if args.gate:
+        failures = []
+        for row in results:
+            if row["speedup"] < 1.0:
+                failures.append(
+                    f"{row['kernel']} @ n={row['n']}: "
+                    f"{row['speedup']:.2f}x is slower than the reference"
+                )
+            if row["kernel"] == "tetris-e2e" and row["n"] == 20 \
+                    and row["speedup"] < 3.0:
+                failures.append(
+                    f"tetris-e2e @ n=20: {row['speedup']:.2f}x < 3x target"
+                )
+            if row["kernel"] == "tetris-e2e" and row["n"] == 40 \
+                    and row["new_seconds"] > UCC40_CEILING_SECONDS:
+                failures.append(
+                    f"tetris-e2e @ n=40: {row['new_seconds']:.2f}s is not "
+                    "single-digit seconds"
+                )
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+        print("gate ok: live passes never slower, targets met")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,11 +13,15 @@ from .parameter import (
 )
 from .qasm import to_qasm
 from .qasm_import import QasmParseError, from_qasm
+from .tape import GateTape, TapeError, try_encode
 from .template import CompiledTemplate
 
 __all__ = [
     "QuantumCircuit",
     "Gate",
+    "GateTape",
+    "TapeError",
+    "try_encode",
     "Parameter",
     "ParameterExpression",
     "BindError",

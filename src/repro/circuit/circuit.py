@@ -9,11 +9,19 @@ per-wire adjacency structure is built on demand by the passes that need it.
 from __future__ import annotations
 
 from collections import Counter
+from functools import lru_cache
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from . import gate as g
 from .gate import Gate
 from .parameter import BindError, Parameter, ParameterExpression
+
+
+@lru_cache(maxsize=None)
+def _swap_cnots(a: int, b: int) -> Tuple[Gate, Gate, Gate]:
+    """The 3-CNOT expansion of SWAP(a, b); Gates are immutable, so the
+    tuple is shared across every decomposition of the same wire pair."""
+    return (Gate(g.CX, (a, b)), Gate(g.CX, (b, a)), Gate(g.CX, (a, b)))
 
 
 class QuantumCircuit:
@@ -29,7 +37,7 @@ class QuantumCircuit:
     1
     """
 
-    __slots__ = ("num_qubits", "gates", "name")
+    __slots__ = ("num_qubits", "gates", "name", "_tape_cache")
 
     def __init__(self, num_qubits: int, name: str = "") -> None:
         if num_qubits < 0:
@@ -37,6 +45,10 @@ class QuantumCircuit:
         self.num_qubits = num_qubits
         self.gates: List[Gate] = []
         self.name = name
+        # Set by tape.cache_tape: (gates list object, length, GateTape).
+        # Consulted by tape.try_encode so tape-to-tape pass chains skip
+        # re-encoding; validated by list identity + length.
+        self._tape_cache = None
 
     # -- construction ----------------------------------------------------------
 
@@ -257,14 +269,13 @@ class QuantumCircuit:
     def decompose_swaps(self) -> "QuantumCircuit":
         """Rewrite every SWAP as 3 CNOTs (the paper's accounting rule)."""
         out = QuantumCircuit(self.num_qubits, self.name)
+        gates = out.gates
+        swap = g.SWAP
         for gate in self.gates:
-            if gate.name == g.SWAP:
-                a, b = gate.qubits
-                out.gates.append(Gate(g.CX, (a, b)))
-                out.gates.append(Gate(g.CX, (b, a)))
-                out.gates.append(Gate(g.CX, (a, b)))
+            if gate.name == swap:
+                gates.extend(_swap_cnots(*gate.qubits))
             else:
-                out.gates.append(gate)
+                gates.append(gate)
         return out
 
     def remapped(self, mapping: Dict[int, int], num_qubits: Optional[int] = None) -> "QuantumCircuit":

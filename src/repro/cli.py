@@ -475,6 +475,9 @@ def build_trace_parser() -> argparse.ArgumentParser:
                         help="also write a JSONL span log to this path")
     parser.add_argument("--no-summary", action="store_true",
                         help="suppress the terminal span-summary tree")
+    parser.add_argument("--top", type=int, default=0, metavar="N",
+                        help="also print the top-N span names by total "
+                             "self-time (a flat hot-spot leaderboard)")
     return parser
 
 
@@ -493,6 +496,9 @@ def trace_main(argv=None) -> int:
     if not args.no_summary:
         print()
         print(obs.summary_tree(tracer.spans, main_pid=tracer.pid))
+    if args.top > 0:
+        print()
+        print(obs.self_time_leaderboard(tracer.spans, top=args.top))
     print(f"wrote {args.out} ({len(tracer.spans)} spans; load in "
           f"chrome://tracing or ui.perfetto.dev)")
     if args.span_log:

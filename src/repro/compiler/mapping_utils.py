@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+
 from ..circuit.circuit import QuantumCircuit
 from ..hardware.coupling import CouplingGraph
 from ..routing.layout import Layout
@@ -42,17 +43,45 @@ def find_center(
 
     This is Algorithm 1's ``findCenter``: the clustering target for the
     root-tree qubits.  The centre need not be one of ``positions``.
+    Scored by exact integer ``(sum, max, node)`` ordering over the cached
+    distance rows — position sets are tiny, so plain list indexing beats
+    array reductions here.
     """
-    distance = coupling.distance_matrix()
-    pool = candidates if candidates is not None else range(coupling.num_qubits)
-    return min(
-        pool,
-        key=lambda node: (
-            sum(int(distance[node, p]) for p in positions),
-            max((int(distance[node, p]) for p in positions), default=0),
-            node,
-        ),
-    )
+    rows = coupling.distance_rows()
+    if candidates is None:
+        # The centre is a pure function of the (unordered) position set:
+        # trial and chosen placements of a block, and unmoved blocks
+        # across scheduling rounds, all repeat the same query.
+        cache_key = tuple(sorted(positions))
+        cache = coupling._center_cache
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
+        pool = range(coupling.num_qubits)
+    else:
+        cache_key = None
+        pool = candidates
+    best = None
+    best_key: Optional[Tuple[int, int, int]] = None
+    for node in pool:
+        row = rows[node]
+        total = 0
+        worst = 0
+        for p in positions:
+            d = row[p]
+            total += d
+            if d > worst:
+                worst = d
+        key = (total, worst, node)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = node
+    assert best is not None, "empty candidate pool"
+    if cache_key is not None:
+        if len(coupling._center_cache) > 100_000:
+            coupling._center_cache.clear()
+        coupling._center_cache[cache_key] = best
+    return best
 
 
 def cluster_qubits(
@@ -78,29 +107,40 @@ def cluster_qubits(
     layout = tracker.layout
     if not logical_qubits:
         return []
-    distance = coupling.distance_matrix()
+    rows = coupling.distance_rows()
+    phys = layout.physical_map()
     remaining = list(logical_qubits)
-    # Seed the cluster with the qubit closest to the requested centre.
-    remaining.sort(key=lambda q: (int(distance[layout.physical(q)][center]), q))
-    first = remaining.pop(0)
-    cluster: Set[int] = {layout.physical(first)}
+    # Only each round's (distance, qubit)-minimum matters — the scalar
+    # reference re-sorts the whole list every round, so a single tracked
+    # minimum per round is decision-identical.  Clusters hold a handful
+    # of qubits, so integer list lookups outrun array reductions.
+    first = min(remaining, key=lambda q: (rows[phys[q]][center], q))
+    remaining.remove(first)
+    cluster: Set[int] = {phys[first]}
 
     while remaining:
-        remaining.sort(
-            key=lambda q: (
-                min(int(distance[layout.physical(q)][c]) for c in cluster),
-                q,
-            )
-        )
-        mover = remaining.pop(0)
-        position = layout.physical(mover)
-        if any(coupling.are_connected(position, c) for c in cluster) or position in cluster:
+        mover = remaining[0]
+        nearest = None
+        for q in remaining:
+            row = rows[phys[q]]
+            d = None
+            for c in cluster:
+                hop = row[c]
+                if d is None or hop < d:
+                    d = hop
+            if nearest is None or d < nearest or (d == nearest and q < mover):
+                nearest = d
+                mover = q
+        remaining.remove(mover)
+        position = phys[mover]
+        # nearest == 0 means the mover already sits on a cluster node;
+        # nearest == 1 means it is adjacent to one.
+        if nearest <= 1:
             cluster.add(position)
             continue
-        target = min(cluster, key=lambda c: (int(distance[position][c]), c))
-        soft_avoid = {
-            layout.physical(q) for q in avoid if q not in (mover,)
-        }
+        row = rows[position]
+        target = min(cluster, key=lambda c: (row[c], c))
+        soft_avoid = {phys[q] for q in avoid if q != mover}
         path = coupling.shortest_path(position, target, blocked=cluster | soft_avoid)
         if path is None:
             path = coupling.shortest_path(position, target, blocked=cluster)
@@ -109,8 +149,8 @@ def cluster_qubits(
         assert path is not None, "coupling graph must be connected"
         # Stop one hop short: adjacency to the cluster is enough.
         tracker.move_along(path[:-1])
-        cluster.add(layout.physical(mover))
-    return [layout.physical(q) for q in logical_qubits]
+        cluster.add(phys[mover])
+    return [phys[q] for q in logical_qubits]
 
 
 def connect_support(

@@ -45,13 +45,22 @@ def _gray_order(block: PauliBlock) -> list:
 class TetrisBlockIR:
     """A Pauli block refined with root/leaf qubit-set annotations."""
 
-    __slots__ = ("block", "root_qubits", "leaf_qubits", "uniform_support")
+    __slots__ = (
+        "block", "root_qubits", "leaf_qubits", "uniform_support",
+        "string_order",
+    )
 
     def __init__(self, block: PauliBlock, sort_strings: bool = True) -> None:
         # Reordering is only sound when the strings pairwise commute (always
         # true for UCCSD excitation blocks, not for arbitrary input).
+        order = range(len(block))
         if sort_strings and len(block) > 1 and block.pairwise_commuting():
-            block = block.reordered(_gray_order(block))
+            order = _gray_order(block)
+            block = block.reordered(order)
+        # IR string i is input-block string string_order[i].  Duplicate
+        # strings resolve to ascending input indices (the Gray chain
+        # tie-breaks equal distances on stable lexicographic rank).
+        self.string_order: Tuple[int, ...] = tuple(order)
         self.block = block
         leaf = block.common_qubits()
         support = block.support

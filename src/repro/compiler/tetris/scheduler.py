@@ -18,6 +18,7 @@ arithmetic instead of per-pair leaf-profile reconstruction.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -90,6 +91,12 @@ class LookaheadScheduler:
     the live mapping; the compiler passes a trial-placement closure (the
     artifact's ``try_block``).  Without it, a fast distance-based estimate
     is used.
+
+    Candidates are evaluated in similarity-rank order against a running
+    incumbent; a ``cost_of`` accepting a ``cap`` keyword receives the
+    incumbent's cost so it can abort trials that already reached it
+    (exact branch-and-bound — a later candidate only wins on strictly
+    smaller cost).
     """
 
     def __init__(
@@ -101,6 +108,14 @@ class LookaheadScheduler:
         self.blocks = list(blocks)
         self.lookahead = max(1, lookahead)
         self.cost_of = cost_of
+        self._cap_aware = False
+        if cost_of is not None:
+            try:
+                self._cap_aware = (
+                    "cap" in inspect.signature(cost_of).parameters
+                )
+            except (TypeError, ValueError):
+                self._cap_aware = False
         self._similarity = _similarity_matrix(self.blocks)
         self._remaining = list(range(len(self.blocks)))
         self._last: Optional[int] = None
@@ -125,10 +140,23 @@ class LookaheadScheduler:
             # Tie-break equal SWAP cost by similarity rank (candidates are
             # already in descending-similarity order).
             if self.cost_of is not None:
-                choice = min(
-                    enumerate(candidates),
-                    key=lambda pair: (self.cost_of(self.blocks[pair[1]], layout), pair[0]),
-                )[1]
+                choice = candidates[0]
+                best_cost = None
+                for index in candidates:
+                    if self._cap_aware:
+                        cost = self.cost_of(
+                            self.blocks[index], layout, cap=best_cost
+                        )
+                    else:
+                        cost = self.cost_of(self.blocks[index], layout)
+                    if best_cost is None or cost < best_cost:
+                        best_cost = cost
+                        choice = index
+                        if best_cost == 0:
+                            # SWAP counts cannot go negative: no later
+                            # candidate can beat a 0-cost incumbent, and
+                            # ties keep the earlier similarity rank.
+                            break
             else:
                 choice = min(
                     enumerate(candidates),

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+
 from ...circuit import gate as g
 from ...circuit.gate import Gate
 from ...hardware.coupling import CouplingGraph
@@ -42,30 +43,60 @@ from .ir import TetrisBlockIR
 DEFAULT_SWAP_WEIGHT = 3.0
 
 
+class _CapReached(Exception):
+    """A trial placement hit the incumbent's SWAP count."""
+
+
+class _TrialTracker(SwapTracker):
+    """Counting-only tracker for trial placements.
+
+    Emits no gates (trial circuits are discarded) and aborts the
+    placement once the SWAP count reaches ``cap``: the count is
+    monotone, so a trial at the incumbent's cost can no longer win the
+    scheduler's strictly-smaller comparison and its tail is wasted work.
+    """
+
+    def __init__(self, layout, cap: Optional[int]) -> None:
+        super().__init__(None, layout)
+        self.cap = cap
+
+    def swap(self, physical_a: int, physical_b: int) -> None:
+        count = self.num_swaps + 1
+        if self.cap is not None and count >= self.cap:
+            raise _CapReached
+        self.num_swaps = count
+        self.layout.swap_physical(physical_a, physical_b)
+
+
 def try_block(
     ir: TetrisBlockIR,
     layout,
     coupling: CouplingGraph,
     swap_weight: float = DEFAULT_SWAP_WEIGHT,
     enable_bridging: bool = True,
+    cap: Optional[int] = None,
 ) -> int:
     """Trial placement of a block (the artifact's ``try_block``).
 
     Runs the placement half of Algorithm 1 on a *copy* of the layout and
     returns the SWAP count it would incur.  The lookahead scheduler calls
-    this for each top-K candidate and schedules the cheapest.
+    this for each top-K candidate and schedules the cheapest; ``cap``
+    (the incumbent's cost) prunes trials that can no longer win — they
+    report ``cap``, which loses every strictly-smaller comparison just
+    as their true (>= cap) cost would.
     """
-    from ...circuit.circuit import QuantumCircuit
-
-    scratch_layout = layout.copy()
-    scratch = SwapTracker(QuantumCircuit(coupling.num_qubits), scratch_layout)
+    scratch = _TrialTracker(layout.copy(), cap)
     root_qubits = list(ir.root_qubits)
     leaf_qubits = list(ir.leaf_qubits)
     if not root_qubits:
         root_qubits = [leaf_qubits.pop()]
-    _place_block(
-        ir, scratch, coupling, root_qubits, leaf_qubits, swap_weight, enable_bridging
-    )
+    try:
+        _place_block(
+            ir, scratch, coupling, root_qubits, leaf_qubits, swap_weight,
+            enable_bridging,
+        )
+    except _CapReached:
+        return cap
     return scratch.num_swaps
 
 
@@ -148,68 +179,142 @@ def _place_block(
     enable_bridging: bool,
 ) -> _BlockTree:
     layout = tracker.layout
-    distance = coupling.distance_matrix()
+    rows = coupling.distance_rows()
+    phys = layout.physical_map()
+    # Counting-only trials never emit the tree, so the spanning-tree and
+    # depth computations (pure functions of the clustered positions — no
+    # SWAPs, no layout changes) are skipped for them.
+    trial = tracker.circuit is None
 
     # 1. Cluster the root qubits around the centre (Algorithm 1 lines 4-8),
     # routing around this block's leaf qubits so their arrangement (and the
     # inter-block cancellation it enables, Sec. V-B) survives.
-    positions = [layout.physical(q) for q in root_qubits]
+    positions = [phys[q] for q in root_qubits]
     center = find_center(coupling, positions)
     cluster_qubits(tracker, coupling, root_qubits, center, avoid=leaf_qubits)
 
-    position_of = {q: layout.physical(q) for q in root_qubits}
-    logical_of = {p: q for q, p in position_of.items()}
-    root_position = min(
-        position_of.values(), key=lambda p: (int(distance[p, center]), p)
-    )
-    parent_physical = physical_spanning_tree(
-        coupling, list(position_of.values()), root_position
-    )
-    parent = {logical_of[c]: logical_of[p] for c, p in parent_physical.items()}
-    tree = _BlockTree(
-        root=logical_of[root_position],
-        parent=parent,
-        root_set=set(root_qubits),
-        leaf_set=set(leaf_qubits),
-        bridge_paths={},
-    )
+    if trial:
+        tree = _BlockTree(
+            root=root_qubits[0],
+            parent={},
+            root_set=set(root_qubits),
+            leaf_set=set(leaf_qubits),
+            bridge_paths={},
+        )
+    else:
+        position_of = {q: phys[q] for q in root_qubits}
+        logical_of = {p: q for q, p in position_of.items()}
+        root_position = min(
+            position_of.values(), key=lambda p: (rows[p][center], p)
+        )
+        parent_physical = physical_spanning_tree(
+            coupling, list(position_of.values()), root_position
+        )
+        parent = {
+            logical_of[c]: logical_of[p] for c, p in parent_physical.items()
+        }
+        tree = _BlockTree(
+            root=logical_of[root_position],
+            parent=parent,
+            root_set=set(root_qubits),
+            leaf_set=set(leaf_qubits),
+            bridge_paths={},
+        )
 
-    # 2. Attach leaf qubits by score (Algorithm 1 lines 9-14).
+    # 2. Attach leaf qubits by score (Algorithm 1 lines 9-14).  Candidate
+    # and anchor sets are tiny, so the exact (score, candidate, anchor)
+    # minimum reduces to integer-list loops over the cached distance rows.
+    # A candidate's per-anchor scores only change when its own position or
+    # an anchor's position moves (both detectable by comparing positions),
+    # so each round a cached per-candidate best is merely challenged by
+    # the one anchor added last round; strictly-smaller updates keep the
+    # earliest candidate on score ties, matching the reference ordering.
     num_ps = ir.num_strings
     mapped: List[int] = list(root_qubits)
+    attach_costs: List[int] = [
+        2 * num_ps if anchor in tree.root_set else 2 for anchor in mapped
+    ]
     pending_bridges: List[Tuple[int, int]] = []
     unmapped = sorted(leaf_qubits)
+    best_cache: Dict[int, Tuple[float, int]] = {}
+    cached_pos: Dict[int, int] = {}
+    prev_anchor_positions: List[int] = []
     while unmapped:
-        best: Optional[Tuple[float, int, int]] = None
+        anchor_positions = [phys[q] for q in mapped]
+        # Fallback moves can displace mapped qubits: every cached best is
+        # stale then, not just the movers'.
+        stale_all = (
+            anchor_positions[: len(prev_anchor_positions)]
+            != prev_anchor_positions
+        )
+        new_slots = range(len(prev_anchor_positions), len(mapped))
         for candidate in unmapped:
-            candidate_position = layout.physical(candidate)
-            for anchor in mapped:
-                anchor_position = layout.physical(anchor)
-                hops = int(distance[candidate_position, anchor_position])
-                attach_cost = 2 * num_ps if anchor in tree.root_set else 2
-                score = (hops - 1) * swap_weight + attach_cost
-                key = (score, candidate, anchor)
-                if best is None or key < best:
-                    best = key
-        assert best is not None
-        _, chosen, anchor = best
-        unmapped.remove(chosen)
+            position = phys[candidate]
+            row = rows[position]
+            if (
+                stale_all
+                or candidate not in best_cache
+                or cached_pos[candidate] != position
+            ):
+                score_best = None
+                anchor_best = -1
+                for slot, anchor_position in enumerate(anchor_positions):
+                    score = (
+                        (row[anchor_position] - 1) * swap_weight
+                        + attach_costs[slot]
+                    )
+                    if score_best is None or score < score_best:
+                        score_best = score
+                        anchor_best = mapped[slot]
+                    elif score == score_best and mapped[slot] < anchor_best:
+                        anchor_best = mapped[slot]
+                best_cache[candidate] = (score_best, anchor_best)
+                cached_pos[candidate] = position
+            else:
+                score_best, anchor_best = best_cache[candidate]
+                for slot in new_slots:
+                    score = (
+                        (row[anchor_positions[slot]] - 1) * swap_weight
+                        + attach_costs[slot]
+                    )
+                    if score < score_best:
+                        score_best = score
+                        anchor_best = mapped[slot]
+                    elif score == score_best and mapped[slot] < anchor_best:
+                        anchor_best = mapped[slot]
+                best_cache[candidate] = (score_best, anchor_best)
+        best_row = 0
+        best_score, anchor = best_cache[unmapped[0]]
+        for index in range(1, len(unmapped)):
+            score, slot_anchor = best_cache[unmapped[index]]
+            if score < best_score:
+                best_score = score
+                anchor = slot_anchor
+                best_row = index
+        chosen = unmapped.pop(best_row)
+        del best_cache[chosen]
+        prev_anchor_positions = anchor_positions
         tree.parent[chosen] = anchor
         mapped.append(chosen)
+        attach_costs.append(2)
 
-        chosen_position = layout.physical(chosen)
-        anchor_position = layout.physical(anchor)
+        chosen_position = phys[chosen]
+        anchor_position = phys[anchor]
         if coupling.are_connected(chosen_position, anchor_position):
             continue
-        blocked = {layout.physical(q) for q in mapped if q not in (chosen, anchor)}
-        swap_path = coupling.shortest_path(
-            chosen_position, anchor_position, blocked=blocked
-        )
-        if enable_bridging and anchor not in tree.root_set and swap_path is None:
-            # Swapping would displace already-mapped tree qubits; prefer a
-            # CNOT bridge through free |0> slots if one survives placement.
-            pending_bridges.append((chosen, anchor))
-            continue
+        if enable_bridging and anchor not in tree.root_set:
+            blocked = {
+                phys[q] for q in mapped if q not in (chosen, anchor)
+            }
+            swap_path = coupling.shortest_path(
+                chosen_position, anchor_position, blocked=blocked
+            )
+            if swap_path is None:
+                # Swapping would displace already-mapped tree qubits;
+                # prefer a CNOT bridge through free |0> slots if one
+                # survives placement.
+                pending_bridges.append((chosen, anchor))
+                continue
         _move_adjacent(tracker, coupling, mapped, chosen, anchor, soft_avoid=unmapped)
 
     # 3. Validate deferred bridges; fall back to SWAPs when a path is taken.
@@ -232,7 +337,8 @@ def _place_block(
         else:
             _move_adjacent(tracker, coupling, mapped, chosen, anchor)
 
-    tree.compute_depths()
+    if not trial:
+        tree.compute_depths()
     return tree
 
 
@@ -323,35 +429,36 @@ def _emit_uniform(
     prologue_gates: List[Gate] = []
     for child in _schedule(tree, leaf_internal):
         prologue_gates.extend(_edge_gates(tree, layout, child))
-    for gate in prologue_gates:
-        circuit.append(gate)
+    circuit.extend(prologue_gates)
 
     # Per-string sections: root basis + connectors + root tree + RZ + mirror.
+    # The layout is fixed throughout emission, so the tree-edge CNOT body
+    # is identical for every string — built once, appended per string.
     per_string_children = _schedule(tree, connectors + root_internal)
     root_position = layout.physical(tree.root)
+    root_sorted = sorted(tree.root_set)
+    root_positions = [layout.physical(q) for q in root_sorted]
+    body: List[Gate] = []
+    for child in per_string_children:
+        body.extend(_edge_gates(tree, layout, child))
+    body_reversed = body[::-1]
     for string, weight in zip(ir.strings, ir.weights):
-        for qubit in sorted(tree.root_set):
+        for qubit, position in zip(root_sorted, root_positions):
             op = string[qubit]
             if op != I:
-                for gate in pre_rotation_gates(op, layout.physical(qubit)):
+                for gate in pre_rotation_gates(op, position):
                     circuit.append(gate)
-        body: List[Gate] = []
-        for child in per_string_children:
-            body.extend(_edge_gates(tree, layout, child))
-        for gate in body:
-            circuit.append(gate)
+        circuit.extend(body)
         circuit.rz(ir.angle * weight, root_position)
-        for gate in reversed(body):
-            circuit.append(gate)
-        for qubit in sorted(tree.root_set):
+        circuit.extend(body_reversed)
+        for qubit, position in zip(root_sorted, root_positions):
             op = string[qubit]
             if op != I:
-                for gate in post_rotation_gates(op, layout.physical(qubit)):
+                for gate in post_rotation_gates(op, position):
                     circuit.append(gate)
 
     # Block epilogue: mirrored leaf forest + leaf basis restoration.
-    for gate in reversed(prologue_gates):
-        circuit.append(gate)
+    circuit.extend(reversed(prologue_gates))
     for qubit in sorted(tree.leaf_set):
         for gate in post_rotation_gates(first[qubit], layout.physical(qubit)):
             circuit.append(gate)

@@ -29,7 +29,10 @@ class CouplingGraph:
     [0, 1, 2, 3]
     """
 
-    __slots__ = ("num_qubits", "_adjacency", "_edges", "_distances", "name")
+    __slots__ = (
+        "num_qubits", "_adjacency", "_edges", "_distances", "_bfs_parents",
+        "_distance_rows", "_path_cache", "_center_cache", "name",
+    )
 
     def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]], name: str = "") -> None:
         self.num_qubits = num_qubits
@@ -46,6 +49,10 @@ class CouplingGraph:
             edge_set.add((min(a, b), max(a, b)))
         self._edges: FrozenSet[Tuple[int, int]] = frozenset(edge_set)
         self._distances: Optional[np.ndarray] = None
+        self._distance_rows: Optional[List[List[int]]] = None
+        self._bfs_parents: Dict[int, List[int]] = {}
+        self._path_cache: Dict[Tuple[int, int, FrozenSet[int]], Optional[List[int]]] = {}
+        self._center_cache: Dict[Tuple[int, ...], int] = {}
 
     @classmethod
     def from_edges(cls, num_qubits: int, edges: Iterable[Tuple[int, int]], name: str = "") -> "CouplingGraph":
@@ -114,6 +121,16 @@ class CouplingGraph:
     def distance(self, a: int, b: int) -> int:
         return int(self.distance_matrix()[a, b])
 
+    def distance_rows(self) -> List[List[int]]:
+        """The distance matrix as nested Python-int lists (cached).
+
+        Hot mapping loops work on handfuls of qubits at a time, where
+        plain list indexing beats numpy scalar access several-fold.
+        """
+        if self._distance_rows is None:
+            self._distance_rows = self.distance_matrix().tolist()
+        return self._distance_rows
+
     def shortest_path(
         self,
         source: int,
@@ -124,12 +141,42 @@ class CouplingGraph:
 
         ``source`` and ``target`` are always allowed even if listed in
         ``blocked``.  Returns None if no path exists.
+
+        Unblocked queries are answered from a cached per-source BFS
+        parent tree: the full BFS visits nodes in the same deterministic
+        order as the early-terminating scan below, so the extracted path
+        is identical — routers issue thousands of these per circuit.
         """
         if source == target:
             return [source]
-        avoid = set(blocked or ()) - {source, target}
+        if not blocked:
+            parents = self._bfs_parents.get(source)
+            if parents is None:
+                parents = self._bfs_tree(source)
+                self._bfs_parents[source] = parents
+            if parents[target] < 0:
+                return None
+            path = [target]
+            while path[-1] != source:
+                path.append(parents[path[-1]])
+            path.reverse()
+            return path
+        # Trial placement and the real placement of a chosen block issue
+        # the exact same blocked queries; the graph is immutable, so the
+        # answer is a pure function of the key.  Callers never mutate
+        # returned paths (they slice).
+        key = (source, target, frozenset(blocked))
+        cache = self._path_cache
+        if key in cache:
+            return cache[key]
+        if len(cache) > 200_000:
+            # Long-lived graphs (the serve daemon) must not grow without
+            # bound; dropping the cache only costs recomputation.
+            cache.clear()
+        avoid = set(blocked) - {source, target}
         parents: Dict[int, int] = {source: source}
         queue = deque([source])
+        result: Optional[List[int]] = None
         while queue:
             node = queue.popleft()
             for other in self._adjacency[node]:
@@ -141,9 +188,28 @@ class CouplingGraph:
                     while path[-1] != source:
                         path.append(parents[path[-1]])
                     path.reverse()
-                    return path
+                    result = path
+                    queue.clear()
+                    break
                 queue.append(other)
-        return None
+        cache[key] = result
+        return result
+
+    def _bfs_tree(self, source: int) -> List[int]:
+        """Full-BFS parent array from ``source`` (-1: unreachable),
+        expanding neighbors in the same set-iteration order as
+        :meth:`shortest_path`'s inline scan."""
+        parents = [-1] * self.num_qubits
+        parents[source] = source
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for other in self._adjacency[node]:
+                if parents[other] >= 0:
+                    continue
+                parents[other] = node
+                queue.append(other)
+        return parents
 
     def nearest(self, source: int, candidates: Sequence[int]) -> Optional[int]:
         """The candidate closest to ``source`` (ties broken by index)."""

@@ -28,7 +28,7 @@ legacy name           canonical spec
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..registry import Registry, RegistryError, parse_spec
 from .coupling import CouplingGraph
@@ -269,17 +269,41 @@ def canonical_device_spec(spec: str) -> str:
     return LEGACY_BY_CANONICAL.get(canonical, canonical)
 
 
+#: (family, canonical params, num_logical) -> built graph.  A coupling
+#: graph is immutable after construction, and its lazily built caches
+#: (distance matrix/rows, BFS parent trees, blocked-path and centre
+#: caches) are pure accelerations — sharing one instance per process is
+#: exactly what the hot compile path wants, instead of re-deriving all
+#: of them per pipeline run.
+_RESOLVE_CACHE: Dict[Tuple[str, str, Optional[int]], CouplingGraph] = {}
+
+
+def clear_device_cache() -> None:
+    """Drop memoized coupling graphs (tests, memory-sensitive callers)."""
+    _RESOLVE_CACHE.clear()
+
+
 def resolve_device(spec: str, num_logical: Optional[int] = None) -> CouplingGraph:
-    """Build the coupling graph for a device spec string.
+    """Build (or fetch the memoized) coupling graph for a device spec.
 
     ``num_logical`` (the workload's qubit count) is required only by
     auto-sized specs such as ``linear:auto+2`` or bare ``full``.  When
     given, every family — fixed-size and parametric alike — is checked
     to fit the workload here, so an undersized device fails with one
     clear error instead of deep inside the routing layer.
+
+    Equal canonical specs return the *same* :class:`CouplingGraph`
+    instance, so every job compiled against a device in this process
+    shares one distance matrix and one set of path caches.
     """
     name, params, family = _split(spec)
-    graph = family.build(params, num_logical)
+    key = (name, family.canonicalize(params), num_logical)
+    graph = _RESOLVE_CACHE.get(key)
+    if graph is None:
+        graph = family.build(params, num_logical)
+        if len(_RESOLVE_CACHE) > 256:
+            _RESOLVE_CACHE.clear()
+        _RESOLVE_CACHE[key] = graph
     if num_logical is not None and graph.num_qubits < num_logical:
         raise RegistryError(
             f"device {spec!r} has {graph.num_qubits} qubits but the "

@@ -46,6 +46,7 @@ arguments.
 
 from .export import (
     chrome_trace_events,
+    self_time_leaderboard,
     summary_tree,
     to_chrome_trace,
     write_chrome_trace,
@@ -94,4 +95,5 @@ __all__ = [
     "write_chrome_trace",
     "write_span_log",
     "summary_tree",
+    "self_time_leaderboard",
 ]

@@ -219,3 +219,42 @@ def summary_tree(
         lines.append("metrics:")
         lines.extend(f"  {line}" for line in metric_lines)
     return "\n".join(lines)
+
+
+def self_time_leaderboard(spans: Sequence[Span], top: int = 10) -> str:
+    """Flat top-N leaderboard of span names ranked by total self-time.
+
+    Self-time is a span's duration minus the time spent in its child
+    spans, aggregated by name across every process and tree position —
+    the direct answer to "where do the cycles actually go?" that the
+    nested :func:`summary_tree` spreads over its hierarchy.
+    """
+    if not spans:
+        return "trace leaderboard: no spans recorded"
+    totals: Dict[str, List[float]] = {}
+
+    def walk(node: _Node) -> None:
+        acc = totals.setdefault(node.name, [0.0, 0.0, 0.0])
+        acc[0] += node.self_seconds
+        acc[1] += node.total
+        acc[2] += node.count
+        for child in node.children.values():
+            walk(child)
+
+    for nodes in _build_forest(spans).values():
+        for root in nodes:
+            walk(root)
+    grand_self = sum(acc[0] for acc in totals.values())
+    ranked = sorted(totals.items(), key=lambda item: -item[1][0])[:max(1, top)]
+    width = max(len(name) for name, _ in ranked)
+    lines = [
+        f"self-time leaderboard (top {len(ranked)} of {len(totals)} "
+        f"span names, {grand_self:.3f}s total self-time)"
+    ]
+    for rank, (name, (self_s, total_s, count)) in enumerate(ranked, start=1):
+        pct = 100.0 * self_s / grand_self if grand_self else 0.0
+        lines.append(
+            f"  {rank:>2}. {name:<{width}}  self {self_s:>9.4f}s "
+            f"({pct:5.1f}%)  total {total_s:>9.4f}s  {int(count):>5}x"
+        )
+    return "\n".join(lines)

@@ -3,19 +3,31 @@
 After cancellation, maximal runs of adjacent single-qubit gates on one wire
 are multiplied out and re-emitted as at most one ``U3`` — the IBM-basis
 consolidation Qiskit O3 performs.  Identity runs are dropped entirely.
+
+The pass runs over the encoded gate tape: run grouping works on integer
+code/qubit columns, and the unitary products are memoized per run
+*shape* — a run's ZYZ angles depend only on its ``(name, params)``
+sequence, and compiled circuits repeat a small alphabet of such
+sequences (basis-change sandwiches, mirrored tree halves) thousands of
+times.  Cache hits skip the 2x2 matrix chain entirely; misses compute
+it exactly as the scalar reference does, so emitted angles are
+bit-for-bit identical.  Unencodable (symbolic) circuits fall back to
+:mod:`repro.passes.reference`.
 """
 
 from __future__ import annotations
 
 import cmath
 import math
-from typing import List, Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..circuit import gate as g
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.gate import Gate
+from ..circuit.tape import CODE_CX, try_encode
 from ..sim.unitaries import gate_unitary
 
 
@@ -42,54 +54,75 @@ def _zyz_angles(matrix: np.ndarray) -> Optional[tuple]:
     return theta, phi, lam
 
 
+@lru_cache(maxsize=4096)
+def _unitary_of(name: str, params: Tuple[float, ...]) -> np.ndarray:
+    """The (qubit-independent) 2x2 unitary of a 1Q gate."""
+    return gate_unitary(Gate(name, (0,), params))
+
+
+@lru_cache(maxsize=65536)
+def _run_angles(
+    run_key: Tuple[Tuple[str, Tuple[float, ...]], ...]
+) -> Optional[tuple]:
+    """ZYZ angles of a 1Q-gate sequence (None when it is the identity).
+
+    Same matrix chain as the scalar reference — left-multiplied in run
+    order — so equal keys reproduce its floats exactly.
+    """
+    matrix = np.eye(2, dtype=complex)
+    for name, params in run_key:
+        matrix = _unitary_of(name, params) @ matrix
+    return _zyz_angles(matrix)
+
+
 def consolidate_one_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
     """Collapse each maximal 1Q run into a single U3 (or nothing)."""
-    out = QuantumCircuit(circuit.num_qubits, circuit.name)
-    pending: List[Optional[List[Gate]]] = [None] * circuit.num_qubits
+    tape = try_encode(circuit)
+    if tape is None:
+        # Symbolic gates split runs and pass through verbatim: scalar path.
+        from .reference import consolidate_one_qubit_runs_reference
 
-    def emit(segment: List[Gate]) -> None:
-        """Emit one numeric-only run segment: verbatim when length 1,
-        otherwise multiplied out into at most one U3."""
-        if not segment:
-            return
-        if len(segment) == 1:
-            out.gates.append(segment[0])
-            return
-        matrix = np.eye(2, dtype=complex)
-        for gate in segment:
-            matrix = gate_unitary(gate) @ matrix
-        angles = _zyz_angles(matrix)
-        if angles is not None:
-            out.gates.append(Gate(g.U3, segment[0].qubits, angles))
+        return consolidate_one_qubit_runs_reference(circuit)
+
+    gates = circuit.gates
+    codes = tape.codes.tolist()
+    q0 = tape.qubits[:, 0].tolist()
+    q1 = tape.qubits[:, 1].tolist()
+
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    out_gates = out.gates
+    pending: List[Optional[List[int]]] = [None] * circuit.num_qubits
 
     def flush(qubit: int) -> None:
         run = pending[qubit]
         pending[qubit] = None
         if not run:
             return
-        # Symbolic gates have no numeric unitary: they split the run and
-        # pass through verbatim, so binding the template later yields
-        # exactly this structure regardless of the angle values.
-        segment: List[Gate] = []
-        for gate in run:
-            if gate.is_parameterized():
-                emit(segment)
-                segment = []
-                out.gates.append(gate)
-            else:
-                segment.append(gate)
-        emit(segment)
+        if len(run) == 1:
+            out_gates.append(gates[run[0]])
+            return
+        key = tuple((gates[i].name, gates[i].params) for i in run)
+        angles = _run_angles(key)
+        if angles is not None:
+            out_gates.append(Gate(g.U3, gates[run[0]].qubits, angles))
 
-    for gate in circuit.gates:
-        if gate.is_one_qubit():
-            qubit = gate.qubits[0]
-            if pending[qubit] is None:
-                pending[qubit] = []
-            pending[qubit].append(gate)
+    for position in range(len(codes)):
+        if codes[position] < CODE_CX:
+            qubit = q0[position]
+            run = pending[qubit]
+            if run is None:
+                pending[qubit] = [position]
+            else:
+                run.append(position)
             continue
-        for qubit in gate.qubits:
+        # 2Q / non-unitary: flush in the gate's own qubit order, then emit.
+        qubit = q0[position]
+        if qubit >= 0:
             flush(qubit)
-        out.gates.append(gate)
+            qubit = q1[position]
+            if qubit >= 0:
+                flush(qubit)
+        out_gates.append(gates[position])
     for qubit in range(circuit.num_qubits):
         flush(qubit)
     return out

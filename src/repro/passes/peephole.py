@@ -10,166 +10,316 @@ Implements the cancellation rules the paper's evaluation relies on:
   diagonal gates (Z, S, S†, RZ) on the control, X/RX on the target, and
   CNOTs sharing the same control (or the same target).
 
-The pass runs to a fixpoint.  It is semantics-preserving; soundness is
-property-tested against the statevector simulator.
+The pass runs to a fixpoint over the encoded gate tape
+(:class:`~repro.circuit.tape.GateTape`): the scan works on plain integer
+code/qubit columns instead of :class:`Gate` attributes, and each round
+is preceded by a vectorized candidate check over the wire-occurrence
+table — a round whose static occurrence pairs admit no cancellation is
+skipped outright, which in particular eliminates the final no-op
+verification round of every fixpoint.  Gate objects are only touched to
+build merged rotations; surviving gates are reused as-is, so the output
+is gate-for-gate identical to the scalar reference
+(:mod:`repro.passes.reference`), which also serves unencodable
+(symbolic/wide-barrier) circuits.
+
+The pass is semantics-preserving; soundness is property-tested against
+the statevector simulator, and scalar/vectorized agreement is pinned by
+randomized differential tests.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
-from ..circuit import gate as g
+import numpy as np
+
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.gate import Gate
-from ..circuit.parameter import is_symbolic
+from ..circuit.tape import (
+    CODE_CX,
+    CODE_MEASURE,
+    CODE_NAMES,
+    GATE_CODES,
+    GateTape,
+    cache_tape,
+    try_encode,
+)
+from ..circuit import gate as g
 
 _TWO_PI = 2.0 * math.pi
+_FOUR_PI = 2.0 * _TWO_PI
 
-#: Gates diagonal in the Z basis: commute with a CNOT's control.
-_DIAGONAL = frozenset({g.Z, g.S, g.SDG, g.RZ})
+#: 1Q self-inverse codes (H, X, Y, Z): same code back-to-back cancels.
+_SELF_INVERSE_1Q = frozenset(
+    GATE_CODES[name] for name in (g.H, g.X, g.Y, g.Z)
+)
+#: Additive rotation codes (RX, RY, RZ): same code back-to-back merges.
+_ADDITIVE = frozenset(GATE_CODES[name] for name in (g.RX, g.RY, g.RZ))
+#: Mutual-inverse 1Q code pairs (S/S†, either order).
+_INVERSE_PAIRS = frozenset(
+    {(GATE_CODES[g.S], GATE_CODES[g.SDG]), (GATE_CODES[g.SDG], GATE_CODES[g.S])}
+)
+#: Codes diagonal in Z (commute with a CNOT's control).
+_DIAGONAL = frozenset(GATE_CODES[name] for name in (g.Z, g.S, g.SDG, g.RZ))
+#: Codes that commute with a CNOT's target.
+_X_AXIS = frozenset(GATE_CODES[name] for name in (g.X, g.RX))
 
-#: Gates that commute with a CNOT's target.
-_X_AXIS = frozenset({g.X, g.RX})
+#: Per-code table for the round pre-check: codes where an adjacent
+#: same-code pair on one wire guarantees a cancellation or merge.
+_PAIR_CANCELS = np.zeros(len(GATE_CODES), dtype=bool)
+for _code in _SELF_INVERSE_1Q | _ADDITIVE:
+    _PAIR_CANCELS[_code] = True
 
-
-class _WireIndex:
-    """Per-wire occurrence lists over a gate array with liveness flags."""
-
-    def __init__(self, num_qubits: int) -> None:
-        self.occurrences: List[List[int]] = [[] for _ in range(num_qubits)]
-
-    def push(self, index: int, qubits) -> None:
-        for qubit in qubits:
-            self.occurrences[qubit].append(index)
-
-
-def _merge_rotations(kept: Gate, new: Gate) -> Optional[Gate]:
-    """Merge two same-axis rotations; None means they cancel entirely."""
-    angle = kept.params[0] + new.params[0]
-    if is_symbolic(angle):
-        # A symbolic sum keeps its unreduced linear form; structurally
-        # cancelling sums (w*theta - w*theta) degrade to a plain float
-        # in ParameterExpression arithmetic and take the numeric path
-        # below, matching what baked angles would do.
-        return Gate(kept.name, kept.qubits, (angle,))
-    angle %= 2.0 * _TWO_PI
-    # A rotation by 2*pi equals -identity (global phase): safe to drop.
-    if min(angle % _TWO_PI, _TWO_PI - (angle % _TWO_PI)) < 1e-12:
-        return None
-    return Gate(kept.name, kept.qubits, (angle,))
+_CODE_S = GATE_CODES[g.S]
+_CODE_SDG = GATE_CODES[g.SDG]
 
 
 def cancel_gates(circuit: QuantumCircuit, max_rounds: int = 20) -> QuantumCircuit:
     """Run cancellation rounds to a fixpoint and return the reduced circuit."""
+    tape = try_encode(circuit)
+    if tape is None:
+        # Symbolic parameters or wide barriers: scalar reference path.
+        from .reference import cancel_gates_reference
+
+        return cancel_gates_reference(circuit, max_rounds=max_rounds)
+
     gates = list(circuit.gates)
+    codes = tape.codes.astype(np.int64)
+    q0 = tape.qubits[:, 0].astype(np.int64)
+    q1 = tape.qubits[:, 1].astype(np.int64)
+    params_mat = tape.params
+    params0 = params_mat[:, 0].tolist()
+
     for _ in range(max_rounds):
-        gates, changed = _cancel_round(gates, circuit.num_qubits)
+        positions, cx_candidates = _round_candidates(
+            codes, q0, q1, circuit.num_qubits
+        )
+        if positions is None:
+            break
+        alive, changed = _cancel_round(
+            gates, codes.tolist(), q0.tolist(), q1.tolist(), params0,
+            positions, cx_candidates, circuit.num_qubits,
+        )
         if not changed:
             break
+        mask = np.array(alive, dtype=bool)
+        codes = codes[mask]
+        q0 = q0[mask]
+        q1 = q1[mask]
+        params_mat = params_mat[mask]
+        gates = [gate for keep, gate in zip(alive, gates) if keep]
+        params0 = [p for keep, p in zip(alive, params0) if keep]
+
     out = QuantumCircuit(circuit.num_qubits, circuit.name)
     out.gates = gates
+    # The surviving columns already encode the output exactly (merges
+    # only touch single-param rotations, reflected in params0): publish
+    # them so the next tape pass skips its encode.
+    params_out = params_mat.copy()
+    if gates:
+        params_out[:, 0] = params0
+    cache_tape(
+        out,
+        GateTape(
+            circuit.num_qubits,
+            codes.astype(np.uint8),
+            np.column_stack((q0, q1)).astype(np.int32),
+            params_out,
+            name=circuit.name,
+        ),
+    )
     return out
 
 
-def _cancel_round(gates: List[Gate], num_qubits: int):
-    alive = [True] * len(gates)
-    index = _WireIndex(num_qubits)
-    changed = False
+def _round_candidates(
+    codes: np.ndarray, q0: np.ndarray, q1: np.ndarray, num_qubits: int
+) -> Tuple[Optional[List[int]], Optional[List[bool]]]:
+    """Vectorized candidate analysis over the static wire-occurrence table.
 
-    for position, gate in enumerate(gates):
-        if gate.name == g.BARRIER:
-            index.push(position, gate.qubits)
-            continue
-        if gate.name in (g.MEASURE, g.RESET):
-            index.push(position, gate.qubits)
-            continue
-        if gate.is_one_qubit():
-            if _try_cancel_one_qubit(gates, alive, index, position, gate):
-                changed = True
-                continue
-        elif gate.name == g.CX:
-            if _try_cancel_cnot(gates, alive, index, position, gate):
-                changed = True
-                continue
-        index.push(position, gate.qubits)
+    Returns ``(positions, cx_candidates)``: the positions the scalar
+    round must visit, and a per-position mask of CNOTs whose
+    (control, target) pair repeats — a CNOT with a unique pair has no
+    twin anywhere, so its backward scans are skipped (None when no CNOT
+    repeats).
 
-    if not changed:
-        return gates, False
-    return [gate for keep, gate in zip(alive, gates) if keep], True
-
-
-def _last_alive(gates, alive, occurrences) -> Optional[int]:
-    """Pop dead entries off the wire list; return the last live index."""
-    while occurrences and not alive[occurrences[-1]]:
-        occurrences.pop()
-    return occurrences[-1] if occurrences else None
-
-
-def _try_cancel_one_qubit(gates, alive, index, position, gate) -> bool:
-    wire = index.occurrences[gate.qubits[0]]
-    previous = _last_alive(gates, alive, wire)
-    if previous is None:
-        return False
-    other = gates[previous]
-    if not other.is_one_qubit() or other.qubits != gate.qubits:
-        return False
-    if other.cancels_with(gate):
-        alive[previous] = False
-        alive[position] = False
-        return True
-    if gate.name in g.ADDITIVE and other.name == gate.name:
-        merged = _merge_rotations(other, gate)
-        alive[previous] = False
-        if merged is None:
-            alive[position] = False
-        else:
-            gates[position] = merged
-            index.push(position, gate.qubits)
-        return True
-    return False
-
-
-def _scan_back_for_cnot(gates, alive, occurrences, gate, wire_role: str) -> Optional[int]:
-    """Walk back along one wire, skipping commuting gates, to find a twin CNOT.
-
-    ``wire_role`` is "control" or "target": which pin of ``gate`` this wire is.
-    Returns the index of the matching CNOT, or None if a blocker appears.
+    A round only changes liveness through a statically adjacent 1Q pair
+    on one wire that cancels/merges, or a repeated (control, target)
+    CNOT pair.  Call a wire *active* when it carries either shape; every
+    death, merge, and newly exposed adjacency then stays confined to
+    active wires, so a gate touching no active wire provably survives
+    with its occurrence lists never consulted — the scan visits only
+    gates pinned to an active wire.  ``positions`` is None when no wire
+    is active: the round is a no-op and ``cancel_gates`` skips it
+    outright, including the final verification round of every fixpoint.
     """
-    control, target = gate.qubits
-    for entry in range(len(occurrences) - 1, -1, -1):
-        previous = occurrences[entry]
-        if not alive[previous]:
+    n = len(codes)
+    if n < 2:
+        return None, None
+    # One extra slot so the -1 padding of 1Q rows indexes a fixed False.
+    wire_active = np.zeros(num_qubits + 1, dtype=bool)
+    has_q0 = q0 >= 0
+    has_q1 = q1 >= 0
+    wires = np.concatenate([q0[has_q0], q1[has_q1]])
+    positions = np.concatenate([np.nonzero(has_q0)[0], np.nonzero(has_q1)[0]])
+    order = np.lexsort((positions, wires))
+    wire_sorted = wires[order]
+    pos_sorted = positions[order]
+    if len(pos_sorted) >= 2:
+        same_wire = wire_sorted[1:] == wire_sorted[:-1]
+        earlier = codes[pos_sorted[:-1]]
+        later = codes[pos_sorted[1:]]
+        candidate = same_wire & (
+            ((earlier == later) & _PAIR_CANCELS[earlier])
+            | ((earlier == _CODE_S) & (later == _CODE_SDG))
+            | ((earlier == _CODE_SDG) & (later == _CODE_S))
+        )
+        wire_active[wire_sorted[:-1][candidate]] = True
+    cx_candidates: Optional[List[bool]] = None
+    cx_positions = np.nonzero(codes == CODE_CX)[0]
+    if len(cx_positions) >= 2:
+        span = int(q1.max()) + 2
+        keys = q0[cx_positions] * span + q1[cx_positions]
+        _, inverse, counts = np.unique(
+            keys, return_inverse=True, return_counts=True
+        )
+        repeated = counts[inverse] >= 2
+        if repeated.any():
+            mask = np.zeros(n, dtype=bool)
+            mask[cx_positions] = repeated
+            cx_candidates = mask.tolist()
+            twins = cx_positions[repeated]
+            wire_active[q0[twins]] = True
+            wire_active[q1[twins]] = True
+    if not wire_active.any():
+        return None, None
+    visit = wire_active[q0] | wire_active[q1]
+    return np.nonzero(visit)[0].tolist(), cx_candidates
+
+
+def _cancel_round(
+    gates: List[Gate],
+    codes: List[int],
+    q0: List[int],
+    q1: List[int],
+    params0: List[float],
+    positions: List[int],
+    cx_candidates: Optional[List[bool]],
+    num_qubits: int,
+) -> Tuple[List[bool], bool]:
+    """One left-to-right scan over integer columns (reference semantics).
+
+    Visits only ``positions`` (gates pinned to an active wire, in
+    order); every other gate survives untouched and its occurrence
+    lists are never consulted, so skipping it is exact.
+    """
+    n = len(gates)
+    alive = [True] * n
+    occurrences: List[List[int]] = [[] for _ in range(num_qubits)]
+    changed = False
+    self_inverse = _SELF_INVERSE_1Q
+    additive = _ADDITIVE
+    inverse_pairs = _INVERSE_PAIRS
+    diagonal = _DIAGONAL
+    x_axis = _X_AXIS
+    code_cx = CODE_CX
+    code_measure = CODE_MEASURE
+
+    for position in positions:
+        code = codes[position]
+        if code < code_cx:
+            # 1Q gate: try to cancel or merge against the last live gate
+            # on its wire (popping dead entries off the wire list).
+            wire_index = q0[position]
+            wire = occurrences[wire_index]
+            while wire and not alive[wire[-1]]:
+                wire.pop()
+            if wire:
+                previous = wire[-1]
+                previous_code = codes[previous]
+                if previous_code == code:
+                    if code in self_inverse:
+                        alive[previous] = False
+                        alive[position] = False
+                        changed = True
+                        continue
+                    if code in additive:
+                        angle = params0[previous] + params0[position]
+                        angle %= _FOUR_PI
+                        residual = angle % _TWO_PI
+                        alive[previous] = False
+                        changed = True
+                        if min(residual, _TWO_PI - residual) < 1e-12:
+                            # Merged to (-)identity: both gates drop.
+                            alive[position] = False
+                        else:
+                            gates[position] = Gate(
+                                CODE_NAMES[code], (wire_index,), (angle,)
+                            )
+                            params0[position] = angle
+                            wire.append(position)
+                        continue
+                elif (previous_code, code) in inverse_pairs:
+                    alive[previous] = False
+                    alive[position] = False
+                    changed = True
+                    continue
+            wire.append(position)
             continue
-        other = gates[previous]
-        if other.name == g.CX and other.qubits == gate.qubits:
-            return previous
-        if wire_role == "control":
-            if other.is_one_qubit() and other.name in _DIAGONAL:
-                continue
-            if other.name == g.CX and other.qubits[0] == control:
-                continue
-        else:
-            if other.is_one_qubit() and other.name in _X_AXIS:
-                continue
-            if other.name == g.CX and other.qubits[1] == target:
-                continue
-        return None
-    return None
+        if code >= code_measure:
+            # measure / reset / barrier: blockers, indexed only.
+            wire_index = q0[position]
+            if wire_index >= 0:
+                occurrences[wire_index].append(position)
+                wire_index = q1[position]
+                if wire_index >= 0:
+                    occurrences[wire_index].append(position)
+            continue
+        control = q0[position]
+        target = q1[position]
+        if code == code_cx and (
+            cx_candidates is None or cx_candidates[position]
+        ):
+            # Walk back along the control wire, skipping gates that
+            # commute through a CNOT's control, looking for a twin.
+            match = None
+            for previous in reversed(occurrences[control]):
+                if not alive[previous]:
+                    continue
+                previous_code = codes[previous]
+                if previous_code == code_cx:
+                    if q0[previous] == control:
+                        if q1[previous] == target:
+                            match = previous
+                        else:
+                            continue
+                    break
+                if previous_code in diagonal:
+                    continue
+                break
+            if match is not None:
+                # Same walk along the target wire; cancel on agreement.
+                for previous in reversed(occurrences[target]):
+                    if not alive[previous]:
+                        continue
+                    previous_code = codes[previous]
+                    if previous_code == code_cx:
+                        if previous == match:
+                            alive[match] = False
+                            alive[position] = False
+                            changed = True
+                            match = -1
+                        elif q1[previous] == target and (
+                            q0[previous] != control
+                        ):
+                            continue
+                        break
+                    if previous_code in x_axis:
+                        continue
+                    break
+                if match == -1:
+                    continue
+        occurrences[control].append(position)
+        occurrences[target].append(position)
 
-
-def _try_cancel_cnot(gates, alive, index, position, gate) -> bool:
-    control, target = gate.qubits
-    match_control = _scan_back_for_cnot(
-        gates, alive, index.occurrences[control], gate, "control"
-    )
-    if match_control is None:
-        return False
-    match_target = _scan_back_for_cnot(
-        gates, alive, index.occurrences[target], gate, "target"
-    )
-    if match_target != match_control:
-        return False
-    alive[match_control] = False
-    alive[position] = False
-    return True
+    return alive, changed

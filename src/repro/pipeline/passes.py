@@ -146,13 +146,14 @@ class TetrisSynthesisPass(TransformationPass):
         tracker = SwapTracker(circuit, layout)
 
         if self.lookahead > 0:
-            def trial_cost(candidate, live_layout):
+            def trial_cost(candidate, live_layout, cap=None):
                 return try_block(
                     candidate,
                     live_layout,
                     coupling,
                     swap_weight=self.swap_weight,
                     enable_bridging=self.enable_bridging,
+                    cap=cap,
                 )
 
             scheduler = LookaheadScheduler(
@@ -176,28 +177,17 @@ class TetrisSynthesisPass(TransformationPass):
             )
             bridge_overhead += stats.bridge_overhead_cnots
 
-        blocks = state["blocks"]
         state["circuit"] = circuit
         state["num_swaps"] = state.get("num_swaps", 0) + tracker.num_swaps
         state["bridge_overhead_cnots"] = (
             state.get("bridge_overhead_cnots", 0) + bridge_overhead
         )
         state["extra"]["block_order"] = block_order
+        # The IR records its own permutation back to input-block indices,
+        # so the replay annotation is a lookup, not a string-pool rebuild.
         state["extra"]["string_orders"] = [
-            list(_original_string_order(blocks[i], ir_blocks[i]))
-            for i in block_order
+            list(ir_blocks[i].string_order) for i in block_order
         ]
-
-
-def _original_string_order(block, ir) -> list:
-    """Map the IR's (possibly re-sorted) strings back to block indices."""
-    pool = {}
-    for position, string in enumerate(block.strings):
-        pool.setdefault(string, []).append(position)
-    order = []
-    for string in ir.strings:
-        order.append(pool[string].pop(0))
-    return order
 
 
 class SpanningTreeSynthesisPass(TransformationPass):

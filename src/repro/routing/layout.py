@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from ..hardware.coupling import CouplingGraph
 
 
@@ -48,6 +50,11 @@ class Layout:
 
     def physical(self, logical: int) -> int:
         return self._phys_of[logical]
+
+    def physical_map(self) -> Dict[int, int]:
+        """Live logical->physical dict, for hot loops that would otherwise
+        pay a method call per lookup.  Callers must not mutate it."""
+        return self._phys_of
 
     def logical(self, physical: int) -> Optional[int]:
         return self._log_of.get(physical)
@@ -108,6 +115,11 @@ def greedy_interaction_layout(
     ``interactions`` is an iterable of ``(a, b)`` logical pairs (duplicates
     increase weight).  Logical qubits are placed in order of interaction
     degree, each next to its most-connected already-placed partner.
+
+    Candidate scoring is an int64 matvec over the cached distance matrix
+    (exact — distances and weights are integers), with ``np.argmin``'s
+    first-minimum rule reproducing the scalar reference's ``(cost, p)``
+    tie-break because the free list is ascending.
     """
     weight: Dict[tuple, int] = {}
     degree = [0] * num_logical
@@ -128,34 +140,33 @@ def greedy_interaction_layout(
             key=lambda p: (coupling.degree(p), -p),
         )
     layout.place(order[0], seed_qubit)
-    distance = coupling.distance_matrix()
+    distance = coupling.distance_matrix().astype(np.int64)
+    placed: List[int] = [order[0]]
     for logical in order[1:]:
-        placed_partners = [
-            (weight.get((min(logical, other), max(logical, other)), 0), other)
-            for other in range(num_logical)
-            if other != logical and _is_placed(layout, other)
-        ]
-        placed_partners = [(w, o) for w, o in placed_partners if w > 0]
+        partner_phys: List[int] = []
+        partner_weight: List[int] = []
+        for other in placed:
+            w = weight.get((min(logical, other), max(logical, other)), 0)
+            if w > 0:
+                partner_phys.append(layout.physical(other))
+                partner_weight.append(w)
         free = layout.free_physical()
         if not free:
             raise ValueError("no free physical qubits remain")
-        if placed_partners:
+        free_arr = np.asarray(free, dtype=np.int64)
+        if partner_phys:
             # Minimize weighted distance to placed partners.
-            def cost(candidate: int) -> float:
-                return sum(
-                    w * distance[candidate, layout.physical(o)]
-                    for w, o in placed_partners
-                )
-
-            best = min(free, key=lambda p: (cost(p), p))
-        else:
-            anchors = [layout.physical(o) for o in range(num_logical)
-                       if _is_placed(layout, o)]
-            best = min(
-                free,
-                key=lambda p: (min(distance[p, a] for a in anchors), p),
+            costs = distance[free_arr[:, None], np.asarray(partner_phys)] @ (
+                np.asarray(partner_weight, dtype=np.int64)
             )
+        else:
+            anchors = np.asarray(
+                [layout.physical(other) for other in placed], dtype=np.int64
+            )
+            costs = distance[free_arr[:, None], anchors].min(axis=1)
+        best = int(free_arr[int(np.argmin(costs))])
         layout.place(logical, best)
+        placed.append(logical)
     return layout
 
 

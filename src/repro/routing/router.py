@@ -6,15 +6,24 @@ The router walks the gate list in order; when a CNOT's qubits are distant it
 moves one endpoint along a shortest path, choosing the endpoint (and path)
 that also helps upcoming gates within a lookahead window.
 
+The lookahead score runs over arrays: upcoming-partner columns are
+prebuilt per logical qubit, the live logical->physical map is a numpy
+vector, and each window is a single fancy-indexed gather from the cached
+:meth:`~repro.hardware.coupling.CouplingGraph.distance_matrix` row.
+Only the final <=24-term decayed accumulation stays sequential — scoring
+must reproduce the scalar reference (:mod:`repro.routing.reference`)
+bit-for-bit, and pairwise numpy sums would not.
+
 The emitted circuit is over *physical* wires; SWAPs are recorded as SWAP
 gates so downstream accounting can attribute their 3 CNOTs each.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..circuit import gate as g
 from ..circuit.circuit import QuantumCircuit
@@ -53,69 +62,108 @@ def route_circuit(
     initial = working.copy()
     out = QuantumCircuit(coupling.num_qubits, circuit.name)
     num_swaps = 0
+    num_logical = circuit.num_qubits
 
-    # Precompute the positions of upcoming 2Q gates per logical qubit for
-    # the lookahead score.
-    upcoming: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+    # Per-logical columns of upcoming 2Q gates for the lookahead score.
+    upcoming_lists: List[List[int]] = [[] for _ in range(2 * num_logical)]
     for position, gate in enumerate(circuit.gates):
         if gate.name == g.CX or gate.name == g.SWAP:
             a, b = gate.qubits
-            upcoming[a].append((position, b))
-            upcoming[b].append((position, a))
-    cursor: Dict[int, int] = defaultdict(int)
+            upcoming_lists[2 * a].append(position)
+            upcoming_lists[2 * a + 1].append(b)
+            upcoming_lists[2 * b].append(position)
+            upcoming_lists[2 * b + 1].append(a)
+    upcoming_pos = [
+        np.asarray(upcoming_lists[2 * q], dtype=np.int64)
+        for q in range(num_logical)
+    ]
+    upcoming_partner = [
+        np.asarray(upcoming_lists[2 * q + 1], dtype=np.int64)
+        for q in range(num_logical)
+    ]
+    cursor = [0] * num_logical
     distance = coupling.distance_matrix()
 
-    def lookahead_cost(logical: int, physical: int, position: int) -> float:
-        """Decayed distance from ``physical`` to upcoming partners of ``logical``."""
+    # Live logical -> physical vector (-1: unplaced) mirroring ``working``,
+    # so partner positions gather as one fancy index.
+    phys = np.full(num_logical + 1, -1, dtype=np.int64)
+    log_of = [-1] * coupling.num_qubits
+    for logical in range(num_logical):
+        try:
+            physical = working.physical(logical)
+        except KeyError:
+            continue
+        phys[logical] = physical
+        log_of[physical] = logical
+
+    def window_partners(logical: int, position: int) -> np.ndarray:
+        """Physical positions of the next placed partners of ``logical``
+        after ``position`` (at most the lookahead window)."""
+        start = cursor[logical]
+        positions = upcoming_pos[logical][start:]
+        partners = upcoming_partner[logical][start:]
+        placed = phys[partners[positions > position]]
+        placed = placed[placed >= 0]
+        return placed[:_LOOKAHEAD_WINDOW]
+
+    def lookahead_cost(partner_physicals: np.ndarray, physical: int) -> float:
+        """Decayed distance from ``physical`` to each partner.
+
+        The distances gather as one fancy index; the decayed sum stays a
+        sequential Python-float loop — IEEE-identical to the reference's
+        numpy-scalar accumulation, an order of magnitude cheaper."""
         total = 0.0
         weight = 1.0
-        count = 0
-        entries = upcoming[logical]
-        start = cursor[logical]
-        for index in range(start, len(entries)):
-            gate_position, partner = entries[index]
-            if gate_position <= position:
-                continue
-            try:
-                partner_physical = working.physical(partner)
-            except KeyError:
-                continue
-            total += weight * distance[physical, partner_physical]
+        for d in distance[physical][partner_physicals].tolist():
+            total += weight * d
             weight *= _LOOKAHEAD_DECAY
-            count += 1
-            if count >= _LOOKAHEAD_WINDOW:
-                break
         return total
 
     for position, gate in enumerate(circuit.gates):
         if gate.num_qubits == 1:
-            out.append(gate.remapped({gate.qubits[0]: working.physical(gate.qubits[0])}))
+            qubit = gate.qubits[0]
+            physical = int(phys[qubit])
+            if physical < 0:
+                raise KeyError(qubit)
+            out.append(gate.remapped({qubit: physical}))
             continue
         if gate.name == g.BARRIER:
             continue
         a, b = gate.qubits
         for q in (a, b):
-            entries = upcoming[q]
-            while cursor[q] < len(entries) and entries[cursor[q]][0] <= position:
+            entries = upcoming_pos[q]
+            while cursor[q] < len(entries) and entries[cursor[q]] <= position:
                 cursor[q] += 1
-        pa, pb = working.physical(a), working.physical(b)
+        pa, pb = int(phys[a]), int(phys[b])
+        if pa < 0 or pb < 0:
+            raise KeyError(a if pa < 0 else b)
         while distance[pa, pb] > 1:
             path = coupling.shortest_path(pa, pb)
             assert path is not None
             # Two candidate moves: advance a's end or b's end one hop.
+            # Both scores share each endpoint's partner window.
             move_a = (pa, path[1])
             move_b = (pb, path[-2])
-            cost_a = lookahead_cost(a, path[1], position) + lookahead_cost(
-                b, pb, position
+            partners_a = window_partners(a, position)
+            partners_b = window_partners(b, position)
+            cost_a = lookahead_cost(partners_a, path[1]) + lookahead_cost(
+                partners_b, pb
             )
-            cost_b = lookahead_cost(a, pa, position) + lookahead_cost(
-                b, path[-2], position
+            cost_b = lookahead_cost(partners_a, pa) + lookahead_cost(
+                partners_b, path[-2]
             )
             chosen = move_a if cost_a <= cost_b else move_b
             out.swap(*chosen)
             working.swap_physical(*chosen)
+            first, second = chosen
+            la, lb = log_of[first], log_of[second]
+            if la >= 0:
+                phys[la] = second
+            if lb >= 0:
+                phys[lb] = first
+            log_of[first], log_of[second] = lb, la
             num_swaps += 1
-            pa, pb = working.physical(a), working.physical(b)
+            pa, pb = int(phys[a]), int(phys[b])
         out.append(Gate(gate.name, (pa, pb), gate.params))
 
     return RoutingResult(

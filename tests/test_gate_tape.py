@@ -1,0 +1,177 @@
+"""The encoded gate tape: exact round-trips and the fallback contract.
+
+The vectorized passes run on :class:`repro.circuit.tape.GateTape`; their
+correctness rests on the tape being a *lossless* view of the gate list.
+These tests pin that down with randomized encode/decode round-trips
+(including circuits that share gate objects, the dedup fast path), the
+``TapeError`` cases that force the scalar-reference fallback, and the
+``cache_tape``/``try_encode`` invalidation rules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.circuit import gate as g
+from repro.circuit.gate import Gate
+from repro.circuit.parameter import Parameter
+from repro.circuit.tape import (
+    GATE_CODES,
+    GateTape,
+    IS_NON_UNITARY,
+    IS_ONE_QUBIT,
+    IS_TWO_QUBIT,
+    PARAM_COUNT,
+    TapeError,
+    cache_tape,
+    try_encode,
+)
+
+
+def random_circuit(rng, num_qubits, num_gates):
+    """Every encodable gate shape, including the non-unitary tail."""
+    qc = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        kind = rng.integers(10)
+        q = int(rng.integers(num_qubits))
+        if kind == 0:
+            qc.h(q)
+        elif kind == 1:
+            getattr(qc, ("s", "sdg", "x", "y", "z")[rng.integers(5)])(q)
+        elif kind == 2:
+            getattr(qc, ("rx", "ry", "rz")[rng.integers(3)])(
+                float(rng.uniform(-7, 7)), q
+            )
+        elif kind == 3:
+            qc.u3(*(float(v) for v in rng.uniform(-3, 3, size=3)), q)
+        elif kind in (4, 5, 6):
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            qc.cx(int(a), int(b))
+        elif kind == 7:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            qc.swap(int(a), int(b))
+        elif kind == 8:
+            qc.measure(q) if rng.integers(2) else qc.reset(q)
+        else:
+            qc.append(Gate(g.BARRIER, (q,)))
+    return qc
+
+
+class TestRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_encode_decode_is_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(rng, int(rng.integers(2, 6)), int(rng.integers(0, 60)))
+        tape = GateTape.from_circuit(qc)
+        assert len(tape) == len(qc.gates)
+        assert tape.decode() == qc.gates
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_to_circuit_preserves_shape(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(rng, 4, int(rng.integers(1, 40)))
+        qc.name = "rt"
+        out = GateTape.from_circuit(qc).to_circuit()
+        assert out.num_qubits == qc.num_qubits
+        assert out.name == qc.name
+        assert out.gates == qc.gates
+
+    def test_shared_gate_objects_round_trip(self):
+        # The emitters share immutable Gate objects aggressively (tree-edge
+        # bodies, swap expansions); encode dedups by id() and must expand
+        # back to the full sequence.
+        body = [Gate(g.CX, (0, 1)), Gate(g.H, (0,)), Gate(g.RZ, (1,), (0.25,))]
+        gates = []
+        for _ in range(17):
+            gates.extend(body)
+        gates.append(Gate(g.CX, (1, 0)))
+        tape = GateTape.encode(gates, 2)
+        assert len(tape) == len(gates)
+        assert tape.decode() == gates
+
+    def test_column_dtypes_and_padding(self):
+        qc = QuantumCircuit(3)
+        qc.h(2)
+        qc.cx(0, 1)
+        qc.u3(0.1, 0.2, 0.3, 0)
+        tape = GateTape.from_circuit(qc)
+        assert tape.codes.dtype == np.uint8
+        assert tape.qubits.shape == (3, 2) and tape.qubits.dtype == np.int32
+        assert tape.params.shape == (3, 3) and tape.params.dtype == np.float64
+        assert tape.qubits[0].tolist() == [2, -1]  # 1Q row pads with -1
+        assert tape.params[2].tolist() == [0.1, 0.2, 0.3]
+
+    def test_select_keeps_order(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.h(1)
+        tape = GateTape.from_circuit(qc)
+        sub = tape.select(tape.codes == GATE_CODES[g.H])
+        assert sub.decode() == [qc.gates[0], qc.gates[2]]
+
+
+class TestClassificationTables:
+    def test_tables_match_gate_library(self):
+        for name, code in GATE_CODES.items():
+            assert IS_ONE_QUBIT[code] == (name in g.ONE_QUBIT_GATES)
+            assert IS_TWO_QUBIT[code] == (name in g.TWO_QUBIT_GATES)
+            assert IS_NON_UNITARY[code] == (name in g.NON_UNITARY)
+
+    def test_param_counts(self):
+        assert PARAM_COUNT[GATE_CODES[g.U3]] == 3
+        for name in (g.RX, g.RY, g.RZ):
+            assert PARAM_COUNT[GATE_CODES[name]] == 1
+        for name in (g.H, g.CX, g.MEASURE, g.BARRIER):
+            assert PARAM_COUNT[GATE_CODES[name]] == 0
+
+
+class TestUnencodable:
+    def test_unknown_gate(self):
+        with pytest.raises(TapeError, match="unknown gate"):
+            GateTape.encode([Gate("ccx", (0, 1, 2))], 3)
+
+    def test_wide_barrier(self):
+        with pytest.raises(TapeError, match="two-wire"):
+            GateTape.encode([Gate(g.BARRIER, (0, 1, 2))], 3)
+
+    def test_symbolic_parameter(self):
+        theta = Parameter("theta")
+        with pytest.raises(TapeError, match="symbolic"):
+            GateTape.encode([Gate(g.RZ, (0,), (theta,))], 1)
+
+    def test_wrong_param_arity(self):
+        with pytest.raises(TapeError, match="params"):
+            GateTape.encode([Gate(g.RZ, (0,), (0.1, 0.2))], 1)
+        with pytest.raises(TapeError, match="params"):
+            GateTape.encode([Gate(g.H, (0,), (0.1,))], 1)
+
+    def test_try_encode_returns_none(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.rz(Parameter("a"), 1)
+        assert try_encode(qc) is None
+
+
+class TestTapeCache:
+    def test_cache_hit_and_invalidation(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        tape = GateTape.from_circuit(qc)
+        cache_tape(qc, tape)
+        assert try_encode(qc) is tape
+        # Growing the list invalidates by length; the fresh encode must
+        # still be exact.
+        qc.h(1)
+        fresh = try_encode(qc)
+        assert fresh is not tape
+        assert fresh.decode() == qc.gates
+        # Replacing the list object invalidates by identity.
+        cache_tape(qc, fresh)
+        qc.gates = list(qc.gates)
+        assert try_encode(qc) is not fresh

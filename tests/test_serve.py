@@ -52,8 +52,9 @@ from repro.service import CompileJob, ResultCache, run_job
 
 #: ~0.2 s inline — the bread-and-butter test job.
 FAST = dict(bench="LiH", device="linear", scale="smoke", blocks=3)
-#: ~0.5 s inline — long enough to observe "running" from another thread.
-SLOW = dict(bench="BeH2", device="linear", scale="smoke")
+#: The heaviest job in the file — long enough to observe "running" from
+#: another thread even with every process-level compiler cache warm.
+SLOW = dict(bench="BeH2", device="linear", scale="small")
 
 
 def wait_until(predicate, timeout=30.0, interval=0.005):
@@ -325,6 +326,20 @@ class TestServeHttp:
         assert excinfo.value.status == 429
 
     def test_priority_orders_the_queue(self):
+        # The blocker holds the single slot on an explicit event rather
+        # than compile wall-clock, so the choreography survives compiler
+        # speedups and warm process-level caches.
+        import repro.serve.server as serve_server
+        from unittest import mock
+
+        release = threading.Event()
+        real_execute = serve_server.execute_job_safe
+
+        def gated(job, profile=False):
+            if job.bench == SLOW["bench"]:
+                release.wait(timeout=30)
+            return real_execute(job, profile=profile)
+
         async def scenario():
             config = ServeConfig(workers=0, use_disk_cache=False)
             server = await ReproServer(config).start(listen=False)
@@ -334,27 +349,38 @@ class TestServeHttp:
                 await server.submit(job, priority=priority)
                 finished.append(tag)
 
-            # Occupy the single slot with a slow job, then enqueue
-            # low-priority before high-priority; the heap must run the
-            # priority-0 job first anyway.
+            def queue_stats():
+                return server.stats_payload()["server"]["queue"]
+
+            async def settle(predicate):
+                deadline = time.monotonic() + 30.0
+                while not predicate() and time.monotonic() < deadline:
+                    await asyncio.sleep(0.005)
+                assert predicate()
+
+            # Occupy the single slot with the gated blocker, then
+            # enqueue low-priority before high-priority; the heap must
+            # run the priority-0 job first anyway.
             blocker = asyncio.ensure_future(
                 submit("blocker", CompileJob(**SLOW), 0)
             )
-            await asyncio.sleep(0.05)        # let the blocker dispatch
-            assert server.stats_payload()["server"]["queue"]["running"] == 1
+            await settle(lambda: queue_stats()["running"] == 1)
             low = asyncio.ensure_future(
                 submit("low", CompileJob(**FAST), 9)
             )
-            await asyncio.sleep(0.01)        # enqueue strictly before `high`
+            await settle(lambda: queue_stats()["pending"] == 1)
             high = asyncio.ensure_future(
                 submit("high", CompileJob(bench="LiH", device="linear",
                                           scale="smoke", blocks=4), 0)
             )
+            await settle(lambda: queue_stats()["pending"] == 2)
+            release.set()
             await asyncio.gather(blocker, low, high)
             await server.shutdown()
             return finished
 
-        assert asyncio.run(scenario()) == ["blocker", "high", "low"]
+        with mock.patch.object(serve_server, "execute_job_safe", gated):
+            assert asyncio.run(scenario()) == ["blocker", "high", "low"]
 
     def test_hot_eviction_forces_recompute(self):
         async def scenario():

@@ -1,0 +1,191 @@
+"""Randomized differential tests: vectorized hot tail vs frozen references.
+
+Every pass that was rewritten onto the encoded gate tape (or into array
+kernels) keeps a frozen scalar reference (``repro.passes.reference``,
+``repro.routing.reference``, ``repro.compiler.tetris.reference``).  The
+contract is *decision identity*: on any input the vectorized pass must
+produce the same gate sequence, bit for bit — not merely an equivalent
+circuit.  These tests compare the two implementations on randomized
+inputs by gate sequence and by statevector, and pin the end-to-end
+tetris chain on a real UCC workload.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.compiler.base import interaction_pairs
+from repro.compiler.tetris.ir import lower_blocks
+from repro.compiler.tetris.reference import run_tetris_reference
+from repro.hardware import grid, linear
+from repro.hardware.families import resolve_device
+from repro.passes import cancel_gates, consolidate_one_qubit_runs
+from repro.passes.reference import (
+    cancel_gates_reference,
+    consolidate_one_qubit_runs_reference,
+)
+from repro.pauli import PauliBlock
+from repro.pipeline import run_pipeline
+from repro.routing.layout import greedy_interaction_layout
+from repro.routing.reference import (
+    greedy_interaction_layout_reference,
+    route_circuit_reference,
+)
+from repro.routing.router import route_circuit
+from repro.sim import circuit_unitary, unitaries_equal
+from repro.workloads import workload_blocks
+
+from helpers import random_pauli_string
+
+
+def sig(circuit):
+    return [(G.name, G.qubits, G.params) for G in circuit.gates]
+
+
+def random_circuit(rng, num_qubits, num_gates):
+    qc = QuantumCircuit(num_qubits)
+    names = ("h", "s", "sdg", "x", "y", "z", "rz", "rx", "ry", "cx", "cx", "cx")
+    for _ in range(num_gates):
+        name = names[rng.integers(len(names))]
+        if name == "cx":
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            qc.cx(int(a), int(b))
+        elif name in ("rz", "rx", "ry"):
+            getattr(qc, name)(float(rng.uniform(-7, 7)), int(rng.integers(num_qubits)))
+        else:
+            getattr(qc, name)(int(rng.integers(num_qubits)))
+    return qc
+
+
+class TestPeepholeDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_cancel_matches_reference_gate_for_gate(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(rng, int(rng.integers(2, 6)), int(rng.integers(0, 80)))
+        assert sig(cancel_gates(qc)) == sig(cancel_gates_reference(qc))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_cancel_preserves_statevector(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(rng, 3, int(rng.integers(5, 50)))
+        reduced = cancel_gates(qc)
+        assert unitaries_equal(circuit_unitary(qc), circuit_unitary(reduced))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_consolidate_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(rng, int(rng.integers(2, 5)), int(rng.integers(0, 60)))
+        assert sig(consolidate_one_qubit_runs(qc)) == sig(
+            consolidate_one_qubit_runs_reference(qc)
+        )
+
+
+class TestLayoutRouteDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_layout_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        num_logical = int(rng.integers(2, 9))
+        coupling = grid(3, 3)
+        pairs = [
+            tuple(int(q) for q in rng.choice(num_logical, 2, replace=False))
+            for _ in range(int(rng.integers(1, 25)))
+        ]
+        ref = greedy_interaction_layout_reference(num_logical, coupling, pairs)
+        new = greedy_interaction_layout(num_logical, coupling, pairs)
+        assert ref.physical_map() == new.physical_map()
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10**6))
+    def test_route_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        num_logical = int(rng.integers(2, 7))
+        qc = random_circuit(rng, num_logical, int(rng.integers(5, 40)))
+        coupling = linear(num_logical + 1)
+        ref = route_circuit_reference(qc, coupling)
+        new = route_circuit(qc, coupling)
+        assert sig(ref.circuit) == sig(new.circuit)
+        assert ref.num_swaps == new.num_swaps
+        assert (
+            ref.initial_layout.physical_map() == new.initial_layout.physical_map()
+        )
+
+
+def random_commuting_block(rng, num_qubits):
+    strings = [random_pauli_string(rng, num_qubits)]
+    for _ in range(int(rng.integers(0, 3))):
+        for _attempt in range(20):
+            candidate = random_pauli_string(rng, num_qubits)
+            if all(candidate.commutes_with(s) for s in strings):
+                strings.append(candidate)
+                break
+    weights = [float(w) or 0.1 for w in rng.uniform(-1, 1, size=len(strings))]
+    return PauliBlock(strings, weights, angle=float(rng.uniform(-1.5, 1.5)))
+
+
+class TestIRStringOrder:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_string_order_matches_pool_reconstruction(self, seed):
+        # The IR records its permutation back to input indices; it must
+        # agree with rebuilding the mapping from the strings themselves
+        # (first-available index per string — the pre-refactor rule).
+        rng = np.random.default_rng(seed)
+        block = random_commuting_block(rng, int(rng.integers(2, 6)))
+        if rng.integers(2) and len(block) > 1:
+            # Duplicated strings exercise the tie-break.
+            block = PauliBlock(
+                list(block.strings) + [block.strings[0]],
+                list(block.weights) + [block.weights[0]],
+                angle=block.angle,
+            )
+        (ir,) = lower_blocks([block], sort_strings=True)
+        pool = {}
+        for position, string in enumerate(block.strings):
+            pool.setdefault(string, []).append(position)
+        expected = [pool[string].pop(0) for string in ir.strings]
+        assert list(ir.string_order) == expected
+        assert sorted(ir.string_order) == list(range(len(block)))
+
+
+class TestTetrisEndToEnd:
+    def reference_e2e(self, blocks, coupling, num_logical):
+        ir_blocks = lower_blocks(blocks, sort_strings=True)
+        layout = greedy_interaction_layout_reference(
+            num_logical, coupling, interaction_pairs(blocks)
+        )
+        circuit, _, _ = run_tetris_reference(ir_blocks, layout, coupling)
+        circuit = circuit.decompose_swaps()
+        circuit = cancel_gates_reference(circuit)
+        return consolidate_one_qubit_runs_reference(circuit)
+
+    @pytest.mark.parametrize("n,device", [(8, "grid:3x3"), (12, "grid:4x4")])
+    def test_ucc_pipeline_matches_reference_chain(self, n, device):
+        blocks = workload_blocks(f"ucc:UCC-{n}", "JW", "smoke")
+        coupling = resolve_device(device, n)
+        live = run_pipeline(
+            "tetris", blocks, coupling, num_logical=n
+        ).state["circuit"]
+        ref = self.reference_e2e(blocks, coupling, n)
+        assert sig(live) == sig(ref)
+
+    def test_random_blocks_match_reference_chain(self):
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            num_qubits = int(rng.integers(3, 5))
+            blocks = [
+                random_commuting_block(rng, num_qubits)
+                for _ in range(int(rng.integers(1, 4)))
+            ]
+            coupling = grid(2, 3)
+            live = run_pipeline(
+                "tetris", blocks, coupling, num_logical=num_qubits
+            ).state["circuit"]
+            ref = self.reference_e2e(blocks, coupling, num_qubits)
+            assert sig(live) == sig(ref)

@@ -1,13 +1,20 @@
-"""Sanity gate over a BENCH_pauli.json emitted by benchmarks/bench_pauli.py.
+"""Sanity gate over the committed benchmark JSON files.
 
-Fails (exit 1) if any packed kernel is slower than its character-loop
-baseline, or if the headline pairwise kernels miss a required speedup
-floor.  CI runs::
+Understands both ``BENCH_pauli.json`` (benchmarks/bench_pauli.py) and
+``BENCH_passes.json`` (benchmarks/bench_passes.py) — the schemas share
+the ``results`` rows (kernel, n, old/new seconds, speedup).  Fails
+(exit 1) if any row is slower than its baseline, or if a targeted
+kernel misses a required speedup floor or wall-clock ceiling.  CI runs::
 
     python tools/check_bench.py BENCH_pauli.json --min-speedup 1.0
+    python tools/check_bench.py BENCH_passes.json \
+        --target-kernel tetris-e2e --target-speedup 3 --target-n 20 \
+        --ceiling-kernel tetris-e2e --ceiling-n 40 --max-seconds 9.9
 
-The refactor's acceptance target (>= 10x on the pairwise kernels at
-n = 64) can be asserted with ``--target-speedup 10 --target-n 64``.
+The first asserts the packed-kernel acceptance target (>= 10x pairwise
+at n = 64 with ``--target-speedup 10 --target-n 64``); the second the
+whole-pass targets (UCC-20 end-to-end >= 3x, UCC-40 single-digit
+seconds).
 """
 
 from __future__ import annotations
@@ -16,21 +23,33 @@ import argparse
 import json
 import sys
 
-#: Kernels the --target-speedup floor applies to (the pairwise hot loops).
+#: Default --target-kernel set: the pairwise hot loops of bench_pauli.
 TARGET_KERNELS = ("pairwise-similarity", "commutation-matrix")
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("path", help="BENCH_pauli.json to check")
+    parser.add_argument("path", help="benchmark JSON to check")
     parser.add_argument("--min-speedup", type=float, default=1.0,
-                        help="every kernel must beat the char baseline by "
-                             "this factor (default: not slower)")
+                        help="every row must beat its baseline by this "
+                             "factor (default: not slower)")
     parser.add_argument("--target-speedup", type=float, default=0.0,
-                        help="additional floor for the pairwise kernels "
-                             "at --target-n qubits")
+                        help="additional floor for the targeted kernels "
+                             "at --target-n")
     parser.add_argument("--target-n", type=int, default=64)
+    parser.add_argument("--target-kernel", action="append", default=None,
+                        metavar="NAME",
+                        help="kernel name the --target-speedup floor "
+                             "applies to (repeatable; default: the "
+                             "bench_pauli pairwise kernels)")
+    parser.add_argument("--max-seconds", type=float, default=0.0,
+                        help="wall-clock ceiling on new_seconds for the "
+                             "--ceiling-kernel row at --ceiling-n")
+    parser.add_argument("--ceiling-kernel", default="tetris-e2e")
+    parser.add_argument("--ceiling-n", type=int, default=40)
     args = parser.parse_args(argv)
+
+    target_kernels = tuple(args.target_kernel or TARGET_KERNELS)
 
     with open(args.path) as handle:
         payload = json.load(handle)
@@ -40,6 +59,7 @@ def main(argv=None) -> int:
         return 1
 
     failures = []
+    ceiling_seen = False
     for row in results:
         label = f"{row['kernel']} @ n={row['n']}"
         if row["speedup"] < args.min_speedup:
@@ -48,16 +68,31 @@ def main(argv=None) -> int:
             )
         if (
             args.target_speedup
-            and row["kernel"] in TARGET_KERNELS
+            and row["kernel"] in target_kernels
             and row["n"] == args.target_n
             and row["speedup"] < args.target_speedup
         ):
             failures.append(
                 f"{label}: {row['speedup']:.2f}x < target {args.target_speedup:g}x"
             )
+        if (
+            args.max_seconds
+            and row["kernel"] == args.ceiling_kernel
+            and row["n"] == args.ceiling_n
+        ):
+            ceiling_seen = True
+            if row["new_seconds"] > args.max_seconds:
+                failures.append(
+                    f"{label}: {row['new_seconds']:.2f}s exceeds the "
+                    f"{args.max_seconds:g}s ceiling"
+                )
         print(f"{label}: {row['speedup']:.1f}x "
               f"({row['old_seconds']:.6f}s -> {row['new_seconds']:.6f}s)")
 
+    if args.max_seconds and not ceiling_seen:
+        # Quick benchmark runs omit the big sizes; note it, don't fail.
+        print(f"note: no {args.ceiling_kernel} @ n={args.ceiling_n} row; "
+              "ceiling not checked")
     if failures:
         print()
         for failure in failures:
@@ -67,6 +102,7 @@ def main(argv=None) -> int:
           f"(min-speedup {args.min_speedup:g}x"
           + (f", target {args.target_speedup:g}x at n={args.target_n}"
              if args.target_speedup else "")
+          + (f", ceiling {args.max_seconds:g}s" if ceiling_seen else "")
           + ")")
     return 0
 
