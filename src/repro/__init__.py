@@ -49,6 +49,7 @@ def compile(  # noqa: A001 — the facade intentionally owns this name
     use_cache=True,
     profile_passes=False,
     parametric=False,
+    calibration=None,
 ):
     """Compile one (workload, compiler, device) cell and return its result.
 
@@ -73,6 +74,16 @@ def compile(  # noqa: A001 — the facade intentionally owns this name
         for theta in optimizer:                 # 1 compile, N cheap binds
             circuit = result.template.bind(theta)
 
+    ``calibration`` is a calibration seed: the job compiles against the
+    device's seeded synthetic calibration and the result carries an
+    analytic ``estimated_fidelity``.  Noise-aware compiler specs
+    (``"tetris:noise-aware+select=20"``) imply seed 0 when omitted::
+
+        result = repro.compile(bench="chem:LiH", scale="smoke",
+                               device="heavy-hex:ibm-65",
+                               compiler="tetris:noise-aware+select=20")
+        print(result.estimated_fidelity)
+
     Runs cache-first through :mod:`repro.service` and returns a
     populated :class:`~repro.service.jobs.JobResult`.  Raises
     ``RuntimeError`` if the compilation fails and ``ValueError`` (or its
@@ -91,6 +102,7 @@ def compile(  # noqa: A001 — the facade intentionally owns this name
         optimization_level=optimization_level,
         params=dict(params or {}),
         parametric=parametric,
+        calibration=calibration,
     )
     return run_batch(
         [job], use_cache=use_cache, strict=True, profile=profile_passes
@@ -111,6 +123,7 @@ def sweep(
     progress=None,
     strict=True,
     profile_passes=False,
+    calibration=None,
 ):
     """Compile the cross product of the given axes as one batch.
 
@@ -138,6 +151,7 @@ def sweep(
         blocks=blocks,
         optimization_level=optimization_level,
         params=dict(params or {}),
+        calibration=calibration,
     )
     return run_batch(
         jobs,

@@ -123,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--swap-weight", type=float, default=None)
     parser.add_argument("--lookahead", type=int, default=None)
     parser.add_argument("--opt-level", type=int, default=3, choices=[0, 1, 3])
+    parser.add_argument("--calibration-seed", type=int, default=None,
+                        metavar="N",
+                        help="compile against the device's seeded synthetic "
+                             "calibration and report estimated_fidelity "
+                             "(noise-aware pipelines default to seed 0)")
     parser.add_argument("--profile-passes", action="store_true",
                         help="print the per-pass profile (wall time and "
                              "CNOT/1Q/depth deltas) after the metrics")
@@ -228,11 +233,44 @@ def main(argv=None) -> int:
 def _dispatch(argv) -> int:
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "compile":
+        return compile_main(argv[1:])
     if argv and argv[0] == "report":
         from .report.cli import report_main
 
         return report_main(argv[1:])
     return single_main(argv)
+
+
+def compile_main(argv) -> int:
+    """``repro compile <bench> [--pipeline SPEC] [...]`` — sugar over
+    single mode: the first positional is the workload and ``--pipeline``
+    is an alias for ``--compiler``, so fidelity-ranked compiles read
+    naturally::
+
+        repro compile chem:LiH --device heavy-hex:ibm-65 \\
+            --pipeline tetris:noise-aware+select=20
+    """
+    out = []
+    bench = None
+    position = 0
+    while position < len(argv):
+        token = argv[position]
+        if token == "--pipeline" and position + 1 < len(argv):
+            out.extend(["--compiler", argv[position + 1]])
+            position += 2
+        elif token.startswith("--pipeline="):
+            out.append("--compiler=" + token[len("--pipeline="):])
+            position += 1
+        elif not token.startswith("-") and bench is None:
+            bench = token
+            position += 1
+        else:
+            out.append(token)
+            position += 1
+    if bench is not None:
+        out = ["--bench", bench] + out
+    return single_main(out)
 
 
 def single_main(argv) -> int:
@@ -255,11 +293,23 @@ def single_main(argv) -> int:
     try:
         canonical_device_spec(args.device)
         base_spec, _suffix = split_opt_suffix(args.compiler)
-        resolve_compiler_spec(base_spec)
+        _, spec_params = resolve_compiler_spec(base_spec)
         blocks = resolve_blocks(args.bench, args.encoder)
         if args.blocks > 0:
             blocks = blocks[: args.blocks]
         coupling = resolve_device(args.device, blocks[0].num_qubits)
+        calibration = None
+        seed = args.calibration_seed
+        if seed is None and (
+            spec_params.get("noise_aware") or spec_params.get("select")
+        ):
+            seed = 0  # noise-aware pipelines imply the seed-0 snapshot
+        if seed is not None:
+            from .hardware.calibration import resolve_calibration
+
+            calibration = resolve_calibration(
+                args.device, seed, blocks[0].num_qubits
+            )
         template = None
         if args.parametric:
             from .circuit.template import CompiledTemplate
@@ -273,6 +323,7 @@ def single_main(argv) -> int:
             optimization_level=args.opt_level,
             params=_single_compiler_params(args),
             profile=args.profile_passes,
+            calibration=calibration,
         )
         if args.parametric:
             template = CompiledTemplate(
@@ -283,12 +334,19 @@ def single_main(argv) -> int:
     except (RegistryError, PipelineError, KeyError) as exc:
         parser.error(str(exc))
     metrics = run.metrics()
-    print(format_table([{
+    row = {
         "bench": args.bench,
         "compiler": run.result.compiler_name,
         "device": coupling.name,
         **metrics.as_row(),
-    }]))
+    }
+    if calibration is not None:
+        from .sim.noise import calibrated_fidelity
+
+        row["estimated_fidelity"] = (
+            f"{calibrated_fidelity(run.result.circuit, calibration):.6g}"
+        )
+    print(format_table([row]))
     if args.profile_passes:
         print()
         print(format_table(run.profile.rows()))
@@ -341,6 +399,11 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument("--blocks", type=int, default=0,
                         help="truncate every workload to the first N blocks")
     parser.add_argument("--opt-level", type=int, default=3, choices=[0, 1, 3])
+    parser.add_argument("--calibration-seed", type=int, default=None,
+                        metavar="N",
+                        help="compile every cell against the device's seeded "
+                             "synthetic calibration; rows gain "
+                             "estimated_fidelity")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes (default: $REPRO_JOBS or 1)")
     parser.add_argument("--jsonl", default="", help="write JSONL results here")
@@ -380,6 +443,7 @@ def build_grid(args) -> list:
         scale=args.scale,
         blocks=args.blocks,
         optimization_level=args.opt_level,
+        calibration=args.calibration_seed,
     )
 
 

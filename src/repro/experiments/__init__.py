@@ -28,6 +28,7 @@ from . import (
     fig22,
     fig23,
     fig24,
+    noise,
     table1,
     table2,
 )
@@ -48,6 +49,7 @@ REGISTRY = {
     "fig22": fig22,
     "fig23": fig23,
     "fig24": fig24,
+    "noise": noise,
 }
 
 for _name, _module in REGISTRY.items():

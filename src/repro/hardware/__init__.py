@@ -6,6 +6,14 @@ parametric spec string — ``grid:8x8``, ``heavy-hex:5``, ``linear:72``,
 ``ring:32``, ``sycamore:6x6`` — via :func:`resolve_device`.
 """
 
+from .calibration import (
+    CALIBRATION_VERSION,
+    Calibration,
+    calibration_digest,
+    clear_calibration_cache,
+    resolve_calibration,
+    synthetic_calibration,
+)
 from .coupling import CouplingGraph
 from .device import Device, ithaca_device, sycamore_device
 from .families import (
@@ -21,6 +29,12 @@ from .lattices import fully_connected, grid, linear, ring
 from .sycamore import google_sycamore_64, sycamore
 
 __all__ = [
+    "CALIBRATION_VERSION",
+    "Calibration",
+    "calibration_digest",
+    "clear_calibration_cache",
+    "resolve_calibration",
+    "synthetic_calibration",
     "CouplingGraph",
     "Device",
     "ithaca_device",

@@ -165,6 +165,7 @@ WORKLOAD_MEMO_HITS = "workload.memo_hits"
 WORKLOAD_MEMO_MISSES = "workload.memo_misses"
 JOBS_EXECUTED = "jobs.executed"
 JOBS_FAILED = "jobs.failed"
+ESTIMATED_FIDELITY = "jobs.estimated_fidelity"
 QUEUE_WAIT = "pool.queue_wait_seconds"
 PASS_SECONDS = "pipeline.pass_seconds"
 SERVE_REQUESTS = "serve.requests"

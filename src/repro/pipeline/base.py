@@ -45,6 +45,11 @@ class PropertySet(dict):
     ``ir_blocks``               Tetris IR (``lower-ir`` pass)
     ``block_order``             scheduled block indices (ordering passes)
     ``edges``                   QAOA ``(u, v, angle)`` terms (``extract-edges``)
+    ``calibration``             :class:`~repro.hardware.calibration.Calibration`
+                                snapshot (seeded by the manager for calibrated
+                                jobs; required by the noise-aware passes)
+    ``allowed_qubits``          physical-qubit region the layout may use
+                                (``select-qubits`` pass)
     ``extra``                   free-form accounting copied into the result
     ==========================  =================================================
     """

@@ -106,8 +106,14 @@ class PassManager:
         coupling: CouplingGraph,
         num_logical: Optional[int] = None,
         profile: bool = False,
+        calibration=None,
     ) -> PipelineRun:
         """Execute the sequence over ``blocks`` on ``coupling``.
+
+        ``calibration`` (a :class:`~repro.hardware.calibration.
+        Calibration`) seeds the property set for noise-aware passes;
+        omitting it while running such a pass raises the usual
+        missing-property :class:`~repro.pipeline.base.PipelineError`.
 
         Raises :class:`~repro.pipeline.base.PipelineError` when a pass's
         required property is missing or the sequence never produced a
@@ -121,6 +127,8 @@ class PassManager:
             num_logical=num_logical or blocks_num_qubits(blocks),
             extra={},
         )
+        if calibration is not None:
+            state["calibration"] = calibration
         profiles: List[PassProfile] = []
         compile_seconds = 0.0
         optimize_seconds = 0.0

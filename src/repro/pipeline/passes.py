@@ -25,9 +25,9 @@ from ..compiler.mapping_utils import SwapTracker
 from ..passes.consolidate import consolidate_one_qubit_runs
 from ..passes.peephole import cancel_gates
 from ..routing.layout import greedy_interaction_layout
-from ..routing.router import route_circuit
+from ..routing.router import route_circuit, route_circuit_noise
 from ..synthesis.chain import synthesize_chain
-from .base import AnalysisPass, PropertySet, TransformationPass
+from .base import AnalysisPass, PipelineError, PropertySet, TransformationPass
 
 DEFAULT_SWAP_WEIGHT = 3.0
 DEFAULT_LOOKAHEAD = 10
@@ -49,6 +49,81 @@ class InteractionLayoutPass(AnalysisPass):
             state["num_logical"],
             state["coupling"],
             interaction_pairs(state["blocks"]),
+            allowed=state.get("allowed_qubits"),
+        )
+        state["layout"] = layout
+        state["initial_layout"] = layout.copy()
+
+
+class SelectQubitsPass(AnalysisPass):
+    """Restrict compilation to the device's best-fidelity k-qubit region.
+
+    Searches the coupling map for the connected ``size``-qubit subgraph
+    with the lowest mean calibrated 2Q error ("compile for the best 20
+    of 65 qubits") and records it as ``allowed_qubits``, which the
+    layout passes honor.  ``size=0`` selects exactly ``num_logical``
+    qubits.  Requires ``calibration`` (run a calibrated job, or pass
+    ``calibration=`` to :meth:`PassManager.run`)."""
+
+    name = "select-qubits"
+    requires = ("calibration",)
+
+    def __init__(self, size: int = 0) -> None:
+        self.size = int(size)
+
+    def run(self, state: PropertySet) -> None:
+        from ..hardware.calibration import select_best_subgraph
+
+        size = self.size or state["num_logical"]
+        if size < state["num_logical"]:
+            raise PipelineError(
+                f"select-qubits: region of {size} qubits cannot hold "
+                f"{state['num_logical']} logical qubits"
+            )
+        selected = select_best_subgraph(
+            state["coupling"], state["calibration"], size
+        )
+        state["allowed_qubits"] = selected
+        state["extra"]["selected_qubits"] = list(selected)
+
+
+class NoiseAwareLayoutPass(AnalysisPass):
+    """Greedy interaction layout over *noise* distance instead of hops.
+
+    Same placement loop as ``layout``, but candidate costs come from the
+    calibration's log-infidelity distance matrix, and the seed qubit is
+    the best-connected/cleanest physical qubit — so heavy interactions
+    land on high-fidelity couplers.  Honors ``allowed_qubits``."""
+
+    name = "layout-noise"
+    requires = ("calibration",)
+
+    def run(self, state: PropertySet) -> None:
+        calibration = state["calibration"]
+        coupling = state["coupling"]
+        allowed = state.get("allowed_qubits")
+        allowed_set = None if allowed is None else frozenset(allowed)
+        candidates = (
+            range(coupling.num_qubits) if allowed_set is None
+            else sorted(allowed_set)
+        )
+
+        def seed_quality(p: int):
+            incident = [
+                calibration.two_qubit_error(p, neighbor)
+                for neighbor in coupling.neighbors(p)
+                if allowed_set is None or neighbor in allowed_set
+            ]
+            mean = sum(incident) / len(incident) if incident else 1.0
+            return (len(incident), -mean, -p)
+
+        layout = greedy_interaction_layout(
+            state["num_logical"],
+            coupling,
+            interaction_pairs(state["blocks"]),
+            seed_qubit=max(candidates, key=seed_quality),
+            allowed=allowed,
+            distance=calibration.noise_distance_matrix(),
         )
         state["layout"] = layout
         state["initial_layout"] = layout.copy()
@@ -476,6 +551,29 @@ class SwapRoutePass(TransformationPass):
     def run(self, state: PropertySet) -> None:
         routed = route_circuit(
             state["circuit"], state["coupling"], state["layout"]
+        )
+        state["circuit"] = routed.circuit
+        state["initial_layout"] = routed.initial_layout
+        state["layout"] = routed.final_layout
+        state["num_swaps"] = state.get("num_swaps", 0) + routed.num_swaps
+
+
+class NoiseAwareSwapRoutePass(TransformationPass):
+    """SWAP routing scored by log-infidelity-weighted distance.
+
+    Same sequential SABRE-style loop as ``route``, but SWAP chains
+    follow the calibration's highest-fidelity paths instead of
+    fewest-hop paths (:func:`repro.routing.router.route_circuit_noise`)."""
+
+    name = "route-noise"
+    requires = ("circuit", "layout", "calibration")
+
+    def run(self, state: PropertySet) -> None:
+        routed = route_circuit_noise(
+            state["circuit"],
+            state["coupling"],
+            state["calibration"],
+            state["layout"],
         )
         state["circuit"] = routed.circuit
         state["initial_layout"] = routed.initial_layout

@@ -16,6 +16,9 @@ Spec grammar (``build_pipeline`` / ``run_pipeline``)::
     tetris+o1                   # ... with cleanup level 1 (cancel only)
     tetris:no-bridge            # ... with a named variant applied
     tetris:w=0.1,k=5            # ... with parameter assignments (aliased)
+    tetris:noise-aware          # ... noise-weighted layout (calibrated jobs)
+    tetris:noise-aware+select=20
+                                # ... restricted to the best 20 qubits
     order-similarity,synth-single-leaf,layout,route
                                 # a custom pass list (cleanup tail appended)
 
@@ -49,7 +52,10 @@ from .passes import (
     ExtractEdgesPass,
     InteractionLayoutPass,
     LowerTetrisIRPass,
+    NoiseAwareLayoutPass,
+    NoiseAwareSwapRoutePass,
     QAOABridgingSynthesisPass,
+    SelectQubitsPass,
     SimilarityOrderPass,
     SingleLeafSynthesisPass,
     SpanningTreeSynthesisPass,
@@ -66,6 +72,9 @@ PASSES = Registry("pass")
 
 for _factory, _description in (
     (InteractionLayoutPass, "greedy interaction-graph qubit placement"),
+    (SelectQubitsPass, "restrict layout to the best-fidelity k-qubit region"),
+    (NoiseAwareLayoutPass, "greedy placement over calibrated noise distance"),
+    (NoiseAwareSwapRoutePass, "SWAP routing along highest-fidelity paths"),
     (LowerTetrisIRPass, "lower Pauli blocks to Tetris IR"),
     (SimilarityOrderPass, "greedy similarity-chain block ordering"),
     (ExtractEdgesPass, "extract QAOA (u, v, angle) ZZ terms"),
@@ -99,15 +108,27 @@ class PipelineDef:
 PIPELINES = Registry("pipeline")
 
 
+def _noise_front(noise_aware: bool, select: int) -> List[Pass]:
+    """The noise-aware layout front-end shared by the pipeline builders:
+    optional best-region selection, then noise-weighted or plain layout."""
+    passes: List[Pass] = []
+    if select:
+        passes.append(SelectQubitsPass(size=select))
+    passes.append(NoiseAwareLayoutPass() if noise_aware else InteractionLayoutPass())
+    return passes
+
+
 def _tetris_passes(
     swap_weight: float = 3.0,
     lookahead: int = 10,
     enable_bridging: bool = True,
     sort_strings: bool = True,
+    noise_aware: bool = False,
+    select: int = 0,
 ) -> List[Pass]:
     return [
         LowerTetrisIRPass(sort_strings=sort_strings),
-        InteractionLayoutPass(),
+        *_noise_front(noise_aware, select),
         TetrisSynthesisPass(
             swap_weight=swap_weight,
             lookahead=lookahead,
@@ -124,12 +145,16 @@ def _paulihedral_passes(sort_strings: bool = True) -> List[Pass]:
     ]
 
 
-def _max_cancel_passes(sort_strings: bool = True) -> List[Pass]:
+def _max_cancel_passes(
+    sort_strings: bool = True,
+    noise_aware: bool = False,
+    select: int = 0,
+) -> List[Pass]:
     return [
         SimilarityOrderPass(),
         SingleLeafSynthesisPass(sort_strings=sort_strings),
-        InteractionLayoutPass(),
-        SwapRoutePass(),
+        *_noise_front(noise_aware, select),
+        NoiseAwareSwapRoutePass() if noise_aware else SwapRoutePass(),
     ]
 
 
@@ -179,11 +204,13 @@ PIPELINES.add(
             "no-bridge": {"enable_bridging": False},
             "no-lookahead": {"lookahead": 0},
             "no-gray": {"sort_strings": False},
+            "noise-aware": {"noise_aware": True},
         },
         param_aliases={"w": "swap_weight", "k": "lookahead"},
     ),
     description="lower-ir, layout, synth-tetris (the paper's compiler)",
-    grammar="tetris[:no-bridge|no-lookahead|no-gray|w=<f>|k=<n>]",
+    grammar="tetris[:no-bridge|no-lookahead|no-gray|noise-aware|w=<f>|k=<n>]"
+    "[+select=<k>]",
 )
 PIPELINES.add(
     "paulihedral",
@@ -194,10 +221,16 @@ PIPELINES.add(
 )
 PIPELINES.add(
     "max-cancel",
-    PipelineDef(_max_cancel_passes, variants={"no-sort": {"sort_strings": False}}),
+    PipelineDef(
+        _max_cancel_passes,
+        variants={
+            "no-sort": {"sort_strings": False},
+            "noise-aware": {"noise_aware": True},
+        },
+    ),
     aliases=("maxcancel",),
     description="order-similarity, synth-single-leaf, layout, route",
-    grammar="max-cancel[:no-sort]",
+    grammar="max-cancel[:no-sort|noise-aware][+select=<k>]",
 )
 PIPELINES.add(
     "tket-like",
@@ -247,26 +280,54 @@ def _parse_value(text: str) -> Any:
     return text.strip()
 
 
+def _split_suffixes(spec: str) -> Tuple[str, Optional[int], Optional[int]]:
+    """Partition a spec into ``(base, opt_level, select)``.
+
+    Two ``+`` suffixes exist: ``+o<level>`` (cleanup level) and
+    ``+select=<k>`` (best-fidelity region size), in either order.
+    Anything else after a ``+`` raises :class:`RegistryError`.
+    """
+    parts = spec.split("+")
+    base = parts[0].strip()
+    level: Optional[int] = None
+    select: Optional[int] = None
+    for suffix in parts[1:]:
+        suffix = suffix.strip()
+        if suffix.startswith("o") and suffix[1:].isdigit():
+            level = int(suffix[1:])
+            if level not in OPT_LEVELS:
+                raise RegistryError(
+                    f"pipeline spec {spec!r}: cleanup level must be one "
+                    f"of {OPT_LEVELS}"
+                )
+        elif suffix.startswith("select="):
+            size = suffix[len("select="):].strip()
+            if not size.isdigit() or int(size) <= 0:
+                raise RegistryError(
+                    f"pipeline spec {spec!r}: '+select=<k>' needs a "
+                    f"positive qubit count, got {size!r}"
+                )
+            select = int(size)
+        else:
+            raise RegistryError(
+                f"malformed pipeline spec {spec!r}: expected '+o<level>' "
+                "or '+select=<k>' suffix"
+            )
+    return base, level, select
+
+
 def split_opt_suffix(spec: str) -> Tuple[str, Optional[int]]:
     """Split a trailing ``+o<level>`` off a pipeline spec.
 
     ``"tetris+o1"`` -> ``("tetris", 1)``; ``"tetris"`` -> ``("tetris",
-    None)``.  Unknown levels raise :class:`RegistryError`.
+    None)``.  A ``+select=<k>`` suffix stays in the base (it is a
+    compiler parameter, not a cleanup level).  Unknown levels and
+    unknown suffixes raise :class:`RegistryError`.
     """
-    base, sep, suffix = spec.partition("+")
-    if not sep:
-        return spec.strip(), None
-    suffix = suffix.strip()
-    if not suffix.startswith("o") or not suffix[1:].isdigit():
-        raise RegistryError(
-            f"malformed pipeline spec {spec!r}: expected '+o<level>' suffix"
-        )
-    level = int(suffix[1:])
-    if level not in OPT_LEVELS:
-        raise RegistryError(
-            f"pipeline spec {spec!r}: cleanup level must be one of {OPT_LEVELS}"
-        )
-    return base.strip(), level
+    base, level, select = _split_suffixes(spec)
+    if select is not None:
+        base = f"{base}+select={select}"
+    return base, level
 
 
 def _builder_params(builder) -> Optional[frozenset]:
@@ -329,25 +390,36 @@ def resolve_compiler_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
       variant vocabulary folds into plain parameters, so variant
       spellings content-hash identically to their explicit-params form
     - a comma-separated pass list -> ``(canonical_joined_list, {})``
+    - ``name[:variants]+select=<k>`` -> the suffix folds into the
+      ``select`` parameter, so ``tetris:noise-aware+select=20`` and
+      ``tetris:noise_aware=true,select=20`` hash identically
 
     A ``+o<level>`` suffix is rejected here: in job context the cleanup
     level is the job's ``optimization_level`` field.
     """
     if not isinstance(spec, str) or not spec.strip():
         raise RegistryError(f"empty pipeline spec {spec!r}")
-    if "+" in spec:
+    original = spec.strip()
+    spec, opt_level, select = _split_suffixes(original)
+    if opt_level is not None:
         raise RegistryError(
-            f"pipeline spec {spec!r}: '+o<level>' is not allowed here — "
+            f"pipeline spec {original!r}: '+o<level>' is not allowed here — "
             "set the job's optimization_level (CLI: --opt-level) instead"
         )
-    spec = spec.strip()
     name, _, variant_text = spec.partition(":")
     name = name.strip()
     if name in PIPELINES and ("," not in name):
         canonical = PIPELINES.canonical(name)
         definition = PIPELINES.get(canonical)
         tokens = [t for t in variant_text.split(",")] if variant_text else []
+        if select is not None:
+            tokens.append(f"select={select}")
         return canonical, _resolve_variants(canonical, definition, tokens)
+    if select is not None:
+        raise RegistryError(
+            f"pipeline spec {spec!r}: '+select=<k>' only applies to "
+            f"registered pipelines, not custom pass lists"
+        )
     if ":" not in spec and all(
         token.strip() in PASSES for token in spec.split(",") if token.strip()
     ):
@@ -434,8 +506,13 @@ def run_pipeline(
     optimization_level: Optional[int] = None,
     params: Optional[Mapping[str, Any]] = None,
     profile: bool = False,
+    calibration=None,
 ) -> PipelineRun:
     """One-call convenience: build from ``spec`` and run.
+
+    ``calibration`` (a :class:`~repro.hardware.calibration.Calibration`)
+    is required by noise-aware specs (``tetris:noise-aware``,
+    ``...+select=<k>``) and ignored by noise-blind ones.
 
     >>> run = run_pipeline("tetris:no-bridge+o1", blocks, coupling,
     ...                    profile=True)              # doctest: +SKIP
@@ -444,7 +521,7 @@ def run_pipeline(
     manager = build_pipeline(spec, optimization_level=optimization_level,
                              params=params)
     return manager.run(blocks, coupling, num_logical=num_logical,
-                       profile=profile)
+                       profile=profile, calibration=calibration)
 
 
 def pipeline_names() -> List[str]:

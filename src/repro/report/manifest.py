@@ -35,6 +35,7 @@ PAPER_ORDER = (
     "fig22",
     "fig23",
     "fig24",
+    "noise",
 )
 
 

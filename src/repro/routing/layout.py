@@ -109,6 +109,8 @@ def greedy_interaction_layout(
     coupling: CouplingGraph,
     interactions: Iterable,
     seed_qubit: Optional[int] = None,
+    allowed: Optional[Iterable[int]] = None,
+    distance: Optional[np.ndarray] = None,
 ) -> Layout:
     """Place heavily-interacting logical qubits on adjacent physical qubits.
 
@@ -120,7 +122,20 @@ def greedy_interaction_layout(
     (exact — distances and weights are integers), with ``np.argmin``'s
     first-minimum rule reproducing the scalar reference's ``(cost, p)``
     tie-break because the free list is ascending.
+
+    ``allowed`` restricts seed and placement candidates to a physical
+    subset (the ``select-qubits`` pass's region); ``distance`` overrides
+    the hop-count matrix with any precomputed cost matrix — the
+    noise-aware layout passes a float log-infidelity matrix, turning
+    "near" into "connected by high-fidelity couplers".  Both default to
+    the historical behavior, bit-for-bit.
     """
+    allowed_set = None if allowed is None else frozenset(allowed)
+    if allowed_set is not None and len(allowed_set) < num_logical:
+        raise ValueError(
+            f"allowed region has {len(allowed_set)} qubits but the "
+            f"workload needs {num_logical}"
+        )
     weight: Dict[tuple, int] = {}
     degree = [0] * num_logical
     for a, b in interactions:
@@ -136,11 +151,13 @@ def greedy_interaction_layout(
     # Seed: the highest-degree logical qubit on the best-connected physical.
     if seed_qubit is None:
         seed_qubit = max(
-            range(coupling.num_qubits),
+            range(coupling.num_qubits) if allowed_set is None
+            else sorted(allowed_set),
             key=lambda p: (coupling.degree(p), -p),
         )
     layout.place(order[0], seed_qubit)
-    distance = coupling.distance_matrix().astype(np.int64)
+    if distance is None:
+        distance = coupling.distance_matrix().astype(np.int64)
     placed: List[int] = [order[0]]
     for logical in order[1:]:
         partner_phys: List[int] = []
@@ -151,6 +168,8 @@ def greedy_interaction_layout(
                 partner_phys.append(layout.physical(other))
                 partner_weight.append(w)
         free = layout.free_physical()
+        if allowed_set is not None:
+            free = [p for p in free if p in allowed_set]
         if not free:
             raise ValueError("no free physical qubits remain")
         free_arr = np.asarray(free, dtype=np.int64)

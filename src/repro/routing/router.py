@@ -174,6 +174,129 @@ def route_circuit(
     )
 
 
+def route_circuit_noise(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    calibration,
+    layout: Optional[Layout] = None,
+) -> RoutingResult:
+    """SABRE-style routing scored by log-infidelity instead of hop count.
+
+    Same sequential algorithm as :func:`route_circuit`, with two
+    substitutions: the distance matrix is the calibration's noise-distance
+    matrix (``-log(1-p)`` edge weights, so "closer" means "connected by
+    better couplers"), and each distant CNOT advances along the
+    *highest-fidelity* path rather than the fewest-hop path.  Termination
+    switches from ``distance == 1`` to actual adjacency, since noise
+    distances are not hop counts.  Kept separate from ``route_circuit``
+    so the frozen reference gate streams of the noise-blind pipelines
+    stay untouched.
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise ValueError("circuit wider than the device")
+    working = (layout or Layout.trivial(circuit.num_qubits, coupling.num_qubits)).copy()
+    initial = working.copy()
+    out = QuantumCircuit(coupling.num_qubits, circuit.name)
+    num_swaps = 0
+    num_logical = circuit.num_qubits
+
+    upcoming_lists: List[List[int]] = [[] for _ in range(2 * num_logical)]
+    for position, gate in enumerate(circuit.gates):
+        if gate.name == g.CX or gate.name == g.SWAP:
+            a, b = gate.qubits
+            upcoming_lists[2 * a].append(position)
+            upcoming_lists[2 * a + 1].append(b)
+            upcoming_lists[2 * b].append(position)
+            upcoming_lists[2 * b + 1].append(a)
+    upcoming_pos = [
+        np.asarray(upcoming_lists[2 * q], dtype=np.int64)
+        for q in range(num_logical)
+    ]
+    upcoming_partner = [
+        np.asarray(upcoming_lists[2 * q + 1], dtype=np.int64)
+        for q in range(num_logical)
+    ]
+    cursor = [0] * num_logical
+    distance = calibration.noise_distance_matrix()
+
+    phys = np.full(num_logical + 1, -1, dtype=np.int64)
+    log_of = [-1] * coupling.num_qubits
+    for logical in range(num_logical):
+        try:
+            physical = working.physical(logical)
+        except KeyError:
+            continue
+        phys[logical] = physical
+        log_of[physical] = logical
+
+    def window_partners(logical: int, position: int) -> np.ndarray:
+        start = cursor[logical]
+        positions = upcoming_pos[logical][start:]
+        partners = upcoming_partner[logical][start:]
+        placed = phys[partners[positions > position]]
+        placed = placed[placed >= 0]
+        return placed[:_LOOKAHEAD_WINDOW]
+
+    def lookahead_cost(partner_physicals: np.ndarray, physical: int) -> float:
+        total = 0.0
+        weight = 1.0
+        for d in distance[physical][partner_physicals].tolist():
+            total += weight * d
+            weight *= _LOOKAHEAD_DECAY
+        return total
+
+    for position, gate in enumerate(circuit.gates):
+        if gate.num_qubits == 1:
+            qubit = gate.qubits[0]
+            physical = int(phys[qubit])
+            if physical < 0:
+                raise KeyError(qubit)
+            out.append(gate.remapped({qubit: physical}))
+            continue
+        if gate.name == g.BARRIER:
+            continue
+        a, b = gate.qubits
+        for q in (a, b):
+            entries = upcoming_pos[q]
+            while cursor[q] < len(entries) and entries[cursor[q]] <= position:
+                cursor[q] += 1
+        pa, pb = int(phys[a]), int(phys[b])
+        if pa < 0 or pb < 0:
+            raise KeyError(a if pa < 0 else b)
+        while not coupling.are_connected(pa, pb):
+            path = calibration.noise_path(pa, pb)
+            move_a = (pa, path[1])
+            move_b = (pb, path[-2])
+            partners_a = window_partners(a, position)
+            partners_b = window_partners(b, position)
+            cost_a = lookahead_cost(partners_a, path[1]) + lookahead_cost(
+                partners_b, pb
+            )
+            cost_b = lookahead_cost(partners_a, pa) + lookahead_cost(
+                partners_b, path[-2]
+            )
+            chosen = move_a if cost_a <= cost_b else move_b
+            out.swap(*chosen)
+            working.swap_physical(*chosen)
+            first, second = chosen
+            la, lb = log_of[first], log_of[second]
+            if la >= 0:
+                phys[la] = second
+            if lb >= 0:
+                phys[lb] = first
+            log_of[first], log_of[second] = lb, la
+            num_swaps += 1
+            pa, pb = int(phys[a]), int(phys[b])
+        out.append(Gate(gate.name, (pa, pb), gate.params))
+
+    return RoutingResult(
+        circuit=out,
+        initial_layout=initial,
+        final_layout=working,
+        num_swaps=num_swaps,
+    )
+
+
 def verify_hardware_compliant(circuit: QuantumCircuit, coupling: CouplingGraph) -> bool:
     """True iff every 2Q gate acts on a coupled physical pair."""
     for gate in circuit.gates:

@@ -139,6 +139,14 @@ class CompileJob:
     ``bind(theta)`` rewrites just the angle fields.  The content hash
     still covers only structural axes (the flag itself distinguishes
     parametric from baked cells; no angle value ever enters the hash).
+
+    ``calibration`` is a calibration *seed* (an int): the job compiles
+    against the device's seeded synthetic calibration snapshot and its
+    result carries an ``estimated_fidelity``.  Noise-aware compiler
+    specs (``tetris:noise-aware``, ``...+select=<k>``) default it to
+    seed 0.  The calibration digest enters the content hash, so
+    calibrated and uncalibrated cells — and different calibration
+    days — never collide in the cache.
     """
 
     bench: str
@@ -150,6 +158,7 @@ class CompileJob:
     optimization_level: int = 3
     params: Tuple[Tuple[str, Any], ...] = ()
     parametric: bool = False
+    calibration: Optional[int] = None
 
     def __post_init__(self):
         if isinstance(self.params, Mapping):
@@ -160,12 +169,25 @@ class CompileJob:
             self, "params", tuple(sorted((str(k), v) for k, v in pairs))
         )
         object.__setattr__(self, "parametric", bool(self.parametric))
-        resolve_compiler_spec(self.compiler)  # raises on unknown specs
+        _, spec_params = resolve_compiler_spec(self.compiler)  # raises on unknown
         canonical_device_spec(self.device)  # raises on unknown/malformed specs
         if ":" in self.bench:
             resolve_workload(self.bench)  # namespaced benches validate eagerly
         if self.scale not in SCALES:
             raise ValueError(f"scale must be one of {SCALES}, got {self.scale!r}")
+        if self.calibration is None:
+            merged = {**spec_params, **dict(self.params)}
+            if merged.get("noise_aware") or merged.get("select"):
+                # Noise-aware pipelines need a calibration; default to
+                # the seed-0 snapshot so the spec is self-contained.
+                object.__setattr__(self, "calibration", 0)
+        elif not isinstance(self.calibration, int) or isinstance(
+            self.calibration, bool
+        ) or self.calibration < 0:
+            raise ValueError(
+                f"calibration must be a non-negative seed, "
+                f"got {self.calibration!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         spec = {
@@ -182,6 +204,8 @@ class CompileJob:
         # payload bytes and content hashes, and old payloads round-trip.
         if self.parametric:
             spec["parametric"] = True
+        if self.calibration is not None:
+            spec["calibration"] = self.calibration
         return spec
 
     @classmethod
@@ -210,6 +234,16 @@ class CompileJob:
             spec["params"] = {**variant_params, **spec["params"]}
         spec["device"] = canonical_device_spec(self.device)
         spec["bench"] = canonical_bench(self.bench)
+        if self.calibration is not None:
+            # The digest pins the actual snapshot contents (device spec,
+            # seed, distribution version), so a CALIBRATION_VERSION bump
+            # re-keys calibrated cells instead of serving stale circuits.
+            from ..hardware.calibration import calibration_digest
+
+            spec["calibration"] = {
+                "seed": self.calibration,
+                "digest": calibration_digest(self.device, self.calibration),
+            }
         return spec
 
     def content_hash(self) -> str:
@@ -223,7 +257,11 @@ class CompileJob:
         """
         spec = self.canonical_spec()
         version = SPEC_VERSION
-        if spec["device"] in LEGACY_DEVICE_NAMES and ":" not in spec["bench"]:
+        if (
+            spec["device"] in LEGACY_DEVICE_NAMES
+            and ":" not in spec["bench"]
+            and self.calibration is None
+        ):
             version = 1
         payload = json.dumps(
             {"v": version, **spec},
@@ -239,6 +277,8 @@ class CompileJob:
             tag += "(" + ",".join(f"{k}={v}" for k, v in self.params) + ")"
         if self.parametric:
             tag += "[parametric]"
+        if self.calibration is not None:
+            tag += f"[cal:{self.calibration}]"
         return tag
 
 
@@ -251,6 +291,7 @@ def grid_jobs(
     blocks: int = 0,
     optimization_level: int = 3,
     params: Mapping[str, Any] = (),
+    calibration: Optional[int] = None,
 ) -> List["CompileJob"]:
     """Cross product of the given axes, deduped by content hash.
 
@@ -275,6 +316,7 @@ def grid_jobs(
                         blocks=blocks,
                         optimization_level=optimization_level,
                         params=dict(params),
+                        calibration=calibration,
                     )
                     key = job.content_hash()
                     if key not in seen:
@@ -296,6 +338,9 @@ class JobResult:
     compiled :class:`~repro.circuit.template.CompiledTemplate` serializes
     inside the result, so it crosses the worker pool and the on-disk
     cache and stays bindable on the other side.
+    ``estimated_fidelity`` is the analytic mirror-circuit fidelity of a
+    *calibrated* job (``sim.noise.calibrated_fidelity``); it serializes
+    when present and is omitted otherwise.
     """
 
     job: CompileJob
@@ -305,6 +350,7 @@ class JobResult:
     cached: bool = False
     profile: Optional[PipelineProfile] = None
     template: Optional[CompiledTemplate] = None
+    estimated_fidelity: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -337,6 +383,11 @@ class JobResult:
             row.update(self.metrics.as_row())
         else:
             row.update({column: "" for column in METRIC_COLUMNS})
+        # Always a column (empty for uncalibrated jobs) so one CSV
+        # header serves mixed calibrated/uncalibrated batches.
+        row["estimated_fidelity"] = (
+            "" if self.estimated_fidelity is None else self.estimated_fidelity
+        )
         if include_profile:
             row.update(profile_columns(self.profile))
         row["error"] = self.error or ""
@@ -355,6 +406,8 @@ class JobResult:
             payload["profile"] = self.profile.to_dict()
         if self.template is not None:
             payload["template"] = self.template.to_dict()
+        if self.estimated_fidelity is not None:
+            payload["estimated_fidelity"] = self.estimated_fidelity
         return payload
 
     @classmethod
@@ -371,6 +424,7 @@ class JobResult:
             template=(
                 None if template is None else CompiledTemplate.from_dict(template)
             ),
+            estimated_fidelity=payload.get("estimated_fidelity"),
         )
 
     def to_json(self) -> str:
@@ -423,11 +477,24 @@ def run_job(job: CompileJob, profile: bool = False) -> JobResult:
     so ``profile=True`` attaches a per-pass
     :class:`~repro.pipeline.profile.PipelineProfile` to the result at
     the cost of one circuit scan per pass.
+
+    Calibrated jobs (``job.calibration`` set) resolve their synthetic
+    calibration snapshot, seed it into the pipeline's property set, and
+    attach the analytic ``estimated_fidelity`` of the compiled circuit —
+    also observed into the ``jobs.estimated_fidelity`` histogram, so it
+    surfaces in the serve daemon's ``/stats``.
     """
     from ..pipeline.registry import build_pipeline
 
     blocks = job_blocks(job)
     coupling = resolve_device(job.device, blocks[0].num_qubits)
+    calibration = None
+    if job.calibration is not None:
+        from ..hardware.calibration import resolve_calibration
+
+        calibration = resolve_calibration(
+            job.device, job.calibration, blocks[0].num_qubits
+        )
     manager = build_pipeline(
         job.compiler,
         optimization_level=job.optimization_level,
@@ -439,18 +506,30 @@ def run_job(job: CompileJob, profile: bool = False) -> JobResult:
         from .templates import parametrize_blocks
 
         blocks, parameters, defaults = parametrize_blocks(blocks)
-        run = manager.run(blocks, coupling, profile=profile)
+        run = manager.run(blocks, coupling, profile=profile,
+                          calibration=calibration)
         template = CompiledTemplate(
             run.result.circuit,
             parameters=parameters,
             default_angles=defaults,
         )
     else:
-        run = manager.run(blocks, coupling, profile=profile)
+        run = manager.run(blocks, coupling, profile=profile,
+                          calibration=calibration)
+    estimated_fidelity = None
+    if calibration is not None:
+        from ..obs.metrics import ESTIMATED_FIDELITY, METRICS
+        from ..sim.noise import calibrated_fidelity
+
+        estimated_fidelity = calibrated_fidelity(
+            run.result.circuit, calibration
+        )
+        METRICS.histogram(ESTIMATED_FIDELITY).observe(estimated_fidelity)
     return JobResult(
         job=job,
         metrics=run.metrics(),
         optimize_seconds=run.optimize_seconds,
         profile=run.profile,
         template=template,
+        estimated_fidelity=estimated_fidelity,
     )

@@ -1,8 +1,10 @@
 """Simulation substrate: statevector, unitaries, and noise models."""
 
 from .noise import (
+    CalibratedNoiseModel,
     FidelityEstimate,
     NoiseModel,
+    calibrated_fidelity,
     error_free_probability,
     estimate_fidelity,
     trajectory_fidelity,
@@ -28,6 +30,8 @@ __all__ = [
     "pauli_matrix",
     "pauli_exponential_matrix",
     "NoiseModel",
+    "CalibratedNoiseModel",
+    "calibrated_fidelity",
     "FidelityEstimate",
     "error_free_probability",
     "estimate_fidelity",

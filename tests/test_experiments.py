@@ -35,8 +35,8 @@ class TestCommon:
 
 
 class TestRegistry:
-    def test_all_fourteen_experiments_registered(self):
-        assert len(REGISTRY) == 14
+    def test_all_fifteen_experiments_registered(self):
+        assert len(REGISTRY) == 15
         for module in REGISTRY.values():
             assert hasattr(module, "run")
             assert hasattr(module, "main")

@@ -177,7 +177,7 @@ class TestSpecValidation:
 class TestManifest:
     def test_every_module_registered(self):
         assert set(experiment_ids()) == set(REGISTRY)
-        assert len(experiment_ids()) == 14
+        assert len(experiment_ids()) == 15
 
     def test_specs_match_modules(self):
         for exp_id in experiment_ids():
